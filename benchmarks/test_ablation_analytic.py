@@ -1,0 +1,53 @@
+"""Ablation: closed-form IB model versus simulation.
+
+The workload models are analytic, so the expected IB(timeslice) has a
+closed form (see :mod:`repro.analytic.model`).  This bench validates the
+theory against the simulated measurements across applications and
+timeslices -- the consistency check that the simulator measures what the
+models intend.
+"""
+
+from conftest import cached_run, report
+
+from repro.analytic import predict_ib
+from repro.apps import paper_spec
+
+CASES = [("sweep3d", 1.0), ("sweep3d", 5.0), ("sweep3d", 20.0),
+         ("bt", 1.0), ("bt", 10.0),
+         ("lu", 1.0), ("lu", 5.0),
+         ("sp", 1.0),
+         ("sage-1000MB", 1.0), ("sage-1000MB", 20.0),
+         ("sage-100MB", 1.0)]
+
+
+def build_rows():
+    rows = []
+    for name, ts in CASES:
+        pred = predict_ib(paper_spec(name), ts)
+        sim = cached_run(name, timeslice=ts, nranks=2).ib()
+        rows.append((name, ts, pred, sim))
+    return rows
+
+
+def test_ablation_analytic(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    lines = [f"  {'app':14s} {'ts':>5s} {'avg theory':>11s} {'avg sim':>9s} "
+             f"{'max theory':>11s} {'max sim':>9s}"]
+    worst = 0.0
+    for name, ts, pred, sim in rows:
+        lines.append(f"  {name:14s} {ts:4.0f}s {pred.avg_mbps:11.1f} "
+                     f"{sim.avg_mbps:9.1f} {pred.max_mbps:11.1f} "
+                     f"{sim.max_mbps:9.1f}")
+        if sim.avg_mbps > 1:
+            worst = max(worst, abs(pred.avg_mbps - sim.avg_mbps) / sim.avg_mbps)
+    lines.append(f"worst relative error on the average IB: {worst:.0%}")
+    report("Ablation: closed-form model vs simulation", lines,
+           "ablation_analytic.txt")
+
+    for name, ts, pred, sim in rows:
+        assert abs(pred.avg_mbps - sim.avg_mbps) <= \
+            max(0.30 * sim.avg_mbps, 1.5), (name, ts, pred.avg_mbps,
+                                            sim.avg_mbps)
+        assert abs(pred.max_mbps - sim.max_mbps) <= \
+            max(0.35 * sim.max_mbps, 1.5), (name, ts, pred.max_mbps,
+                                            sim.max_mbps)

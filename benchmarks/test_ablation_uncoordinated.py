@@ -1,0 +1,82 @@
+"""Ablation: coordinated versus uncoordinated checkpoint schedules.
+
+The paper builds on coordinated checkpoints at common timeslice
+boundaries, enabled by the applications' bulk synchrony.  This ablation
+quantifies the alternative it implicitly rejects: with independent
+per-rank checkpoint clocks, orphan messages force cascading rollbacks
+(the domino effect), so a failure discards far more than one interval
+of work.  Measured on a real message log from a communicating run.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.checkpoint import (
+    MessageLogger,
+    UncoordinatedSchedule,
+    lost_work,
+    recovery_line,
+)
+from repro.mpi import MPIJob
+from repro.sim import Engine
+
+NRANKS = 6
+INTERVAL = 2.0
+# a chatty workload: halo exchanges every iteration keep ranks entangled
+SPEC = small_spec(name="domino-probe", footprint_mb=4, main_mb=2,
+                  period=0.5, comm_mb=0.5, pattern="grid2d",
+                  comm_rounds=2, global_reduction=True)
+
+
+def build_rows():
+    engine = Engine()
+    app = SyntheticApp(SPEC, run_duration=30.0)
+    job = MPIJob(engine, NRANKS, process_factory=app.process_factory(engine))
+    logger = MessageLogger(job)
+    job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+    horizon = engine.now
+
+    failure_times = np.linspace(8.0, horizon - 2.0, 12)
+    rows = {}
+    for label, stagger in (("coordinated", 0.0), ("uncoordinated", 1.0)):
+        sched = UncoordinatedSchedule(NRANKS, INTERVAL, horizon,
+                                      stagger_fraction=stagger)
+        losses = []
+        depths = []
+        for ft in failure_times:
+            line = recovery_line(sched, logger.messages, float(ft))
+            losses.append(lost_work(line, float(ft)))
+            depths.append(float(ft) - min(line))
+        rows[label] = (float(np.mean(losses)), float(np.max(depths)))
+    rows["messages"] = len(logger.messages)
+    return rows
+
+
+def test_ablation_uncoordinated(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    coord_loss, coord_depth = rows["coordinated"]
+    unco_loss, unco_depth = rows["uncoordinated"]
+    lines = [
+        f"{NRANKS} ranks, checkpoint interval {INTERVAL:.0f} s, "
+        f"{rows['messages']} messages logged, failures sampled over the run",
+        "",
+        f"  coordinated   : mean lost work {coord_loss:6.1f} rank-s, "
+        f"worst rollback depth {coord_depth:5.1f} s",
+        f"  uncoordinated : mean lost work {unco_loss:6.1f} rank-s, "
+        f"worst rollback depth {unco_depth:5.1f} s",
+        "",
+        f"staggered clocks + constant messaging -> orphan cascades: "
+        f"{unco_loss / coord_loss:.1f}x the lost work.",
+        "bulk-synchronous coordination (what the paper's timeslice "
+        "boundaries give for free) caps the loss at one interval.",
+    ]
+    report("Ablation: coordinated vs uncoordinated checkpointing", lines,
+           "ablation_uncoordinated.txt")
+
+    # coordinated: rollback never deeper than one interval
+    assert coord_depth <= INTERVAL + 1e-6
+    # uncoordinated: the domino effect makes failures strictly costlier
+    assert unco_loss > 1.5 * coord_loss
+    assert unco_depth > INTERVAL

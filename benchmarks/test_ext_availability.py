@@ -1,0 +1,81 @@
+"""Extension: from measured bandwidth to machine efficiency at scale.
+
+The paper's introduction motivates the study with BlueGene/L: 65,536
+processors failing every few hours need checkpoints "every few minutes".
+This bench closes the loop the paper opens: take the *measured*
+per-process incremental delta (Sage-1000MB at the optimal placement),
+feed it into the Young/Daly availability model, and show that
+
+- the optimal checkpoint interval at BlueGene/L scale is indeed a few
+  minutes, and
+- incremental checkpointing keeps the machine efficient at scales where
+  *full* checkpointing (the whole footprint every interval) visibly
+  hurts.
+"""
+
+from conftest import cached_run, report
+
+from repro.feasibility import CheckpointCostModel, FailureModel, scale_study
+from repro.feasibility.availability import optimal_efficiency
+from repro.units import MiB, from_mb
+
+NODE_MTBF_HOURS = 100_000.0      # very reliable nodes
+NODE_COUNTS = [512, 4096, 32768, 65536]
+APP = "sage-1000MB"
+
+
+def build_rows():
+    # per-process delta for a once-per-iteration checkpoint: the *unique*
+    # working set of one iteration, measured by setting the timeslice to
+    # the iteration period (revisits within the interval deduplicate)
+    from repro.apps import paper_spec
+    spec = paper_spec(APP)
+    period = spec.iteration_period
+    result = cached_run(APP, timeslice=period, nranks=2)
+    delta = int(result.log(0).after(result.init_end_time).iws_bytes().mean())
+    rows = scale_study(delta_bytes=delta, storage_bandwidth=320 * MiB,
+                       node_mtbf=NODE_MTBF_HOURS * 3600,
+                       node_counts=NODE_COUNTS)
+    # the full-checkpoint comparison at the largest scale
+    full_cost = CheckpointCostModel(
+        delta_bytes=from_mb(spec.paper_footprint_max_mb),
+        storage_bandwidth=320 * MiB).cost
+    failures = FailureModel(node_mtbf=NODE_MTBF_HOURS * 3600,
+                            nnodes=NODE_COUNTS[-1])
+    _, eff_full = optimal_efficiency(full_cost, failures)
+    return delta, rows, eff_full
+
+
+def test_ext_availability(benchmark):
+    delta, rows, eff_full = benchmark.pedantic(build_rows, rounds=1,
+                                               iterations=1)
+    lines = [f"measured per-process delta ({APP}, one iteration): "
+             f"{delta / MiB:.0f} MB",
+             f"node MTBF {NODE_MTBF_HOURS:.0f} h, restart 300 s, "
+             f"storage 320 MB/s",
+             "",
+             f"  {'nodes':>7s} {'system MTBF':>12s} {'ckpt cost':>10s} "
+             f"{'opt interval':>13s} {'efficiency':>11s}"]
+    for r in rows:
+        lines.append(f"  {r['nnodes']:7d} {r['system_mtbf'] / 3600:10.1f} h "
+                     f"{r['checkpoint_cost']:9.1f}s "
+                     f"{r['optimal_interval'] / 60:11.1f} m "
+                     f"{r['efficiency']:11.1%}")
+    lines.append("")
+    lines.append(f"at {NODE_COUNTS[-1]} nodes, incremental achieves "
+                 f"{rows[-1]['efficiency']:.1%} vs {eff_full:.1%} for "
+                 f"full checkpoints")
+    report("Extension: cluster efficiency at BlueGene/L scale", lines,
+           "ext_availability.txt")
+
+    # failures every few hours at the largest scale (the intro's claim)
+    assert rows[-1]["system_mtbf"] < 10 * 3600
+    # optimal interval "every few minutes"
+    assert 30 <= rows[-1]["optimal_interval"] <= 30 * 60
+    # efficiency stays high with incremental checkpointing...
+    assert rows[-1]["efficiency"] > 0.80
+    # ...and beats full checkpointing at scale
+    assert rows[-1]["efficiency"] > eff_full
+    # efficiency declines with machine size
+    effs = [r["efficiency"] for r in rows]
+    assert all(b < a for a, b in zip(effs, effs[1:]))

@@ -1,0 +1,69 @@
+"""Extension: checkpoint sink comparison -- SCSI disk, RAID stripe,
+diskless (buddy memory over QsNet).
+
+The paper treats the network and the disk as the two candidate
+bottlenecks (section 3).  This bench runs the same coordinated
+incremental checkpointing workload against three sinks and compares
+commit latencies -- the time from a checkpoint boundary until the global
+sequence is durable, which bounds how frequently checkpoints can be
+taken.
+"""
+
+from conftest import report
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.checkpoint import CheckpointEngine
+from repro.instrument import InstrumentationLibrary, TrackerConfig
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.storage import Disk, DisklessSink, SCSI_ULTRA320, StorageArray
+from repro.units import GiB, fmt_seconds
+
+SPEC = small_spec(name="sink-compare", footprint_mb=64, main_mb=24,
+                  period=2.0, passes=1.0, comm_mb=0.5)
+
+
+def run_with(sink_factory):
+    engine = Engine()
+    app = SyntheticApp(SPEC, n_iterations=8)
+    job = MPIJob(engine, 2, process_factory=app.process_factory(engine))
+    lib = InstrumentationLibrary(TrackerConfig(timeslice=1.0)).install(job)
+    ckpt = CheckpointEngine(job, lib, interval_slices=2, full_every=10 ** 6,
+                            keep_payloads=False,
+                            storage_factory=lambda rank: sink_factory(engine, rank))
+    job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+    latencies = [gc.commit_latency for gc in ckpt.committed()]
+    return sum(latencies) / len(latencies)
+
+
+def build_rows():
+    return {
+        "SCSI disk (320 MB/s)": run_with(
+            lambda eng, rank: Disk(eng, SCSI_ULTRA320)),
+        "RAID-0 x4 stripe": run_with(
+            lambda eng, rank: StorageArray(eng, 4, SCSI_ULTRA320)),
+        "diskless (QsNet buddy)": run_with(
+            lambda eng, rank: DisklessSink(eng, capacity=4 * GiB)),
+    }
+
+
+def test_ext_diskless(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    lines = [f"workload: {SPEC.footprint_mb:.0f} MB footprint, incremental "
+             f"checkpoint every 2 s",
+             ""]
+    for name, latency in rows.items():
+        lines.append(f"  {name:24s} mean commit latency {fmt_seconds(latency)}")
+    report("Extension: checkpoint sink comparison", lines,
+           "ext_diskless.txt")
+
+    disk = rows["SCSI disk (320 MB/s)"]
+    raid = rows["RAID-0 x4 stripe"]
+    diskless = rows["diskless (QsNet buddy)"]
+    # striping beats the single disk; the network beats both for these
+    # delta sizes (QsNet at 900 MB/s, no seek)
+    assert raid < disk
+    assert diskless < disk
+    # all commit within a fraction of the checkpoint interval
+    assert max(rows.values()) < 1.0

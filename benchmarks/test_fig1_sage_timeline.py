@@ -1,0 +1,74 @@
+"""Fig 1: Sage-1000MB timeline at a 1 s timeslice.
+
+(a) IWS size per timeslice: an initialization spike at the start, then
+    regular write bursts every ~145 s;
+(b) data received per timeslice: communication bursts of a few MB placed
+    between the processing bursts.
+"""
+
+import numpy as np
+from conftest import cached_run, report
+
+from repro.metrics import detect_bursts
+from repro.metrics.period import estimate_period
+
+
+def build_fig1():
+    result = cached_run("sage-1000MB", timeslice=1.0, nranks=4,
+                        run_duration=500.0)
+    return result
+
+
+def sparkline(values, width=100):
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    top = max(sampled) or 1.0
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)), 9)]
+                   for v in sampled)
+
+
+def test_fig1_sage_timeline(benchmark):
+    result = benchmark.pedantic(build_fig1, rounds=1, iterations=1)
+    log = result.log(0)
+    iws = log.iws_mb()
+    rx = log.received_mb()
+
+    lines = [
+        f"run: {result.final_time:.0f} s simulated, timeslice 1 s, "
+        f"{len(log)} slices",
+        "",
+        f"(a) IWS size per timeslice, MB  (peak {iws.max():.0f})",
+        "    " + sparkline(iws),
+        "",
+        f"(b) data received per timeslice, MB  (peak {rx.max():.2f})",
+        "    " + sparkline(rx),
+    ]
+
+    steady = log.after(result.init_end_time)
+    period = estimate_period(steady.iws_bytes(), log.timeslice)
+    lines.append("")
+    lines.append(f"write bursts every {period:.0f} s "
+                 f"(paper: every 145 s)")
+    report("Fig 1: Sage-1000MB, IWS size and data received (timeslice 1 s)",
+           lines, "fig1.txt")
+
+    # -- shape assertions ------------------------------------------------------
+    # the initialization spike dominates the first slices (paper: the
+    # initial peak is caused by data initialization)
+    init_slices = [r.iws_bytes for r in log if r.t_end <= result.init_end_time + 1]
+    assert max(init_slices) >= 200 * 2**20
+    # periodic bursts at the main iteration rhythm
+    assert abs(period - 145.0) / 145.0 < 0.15
+    # several distinct processing bursts over the run
+    bursts = detect_bursts(steady.iws_mb())
+    assert len(bursts) >= 2
+    # communication bursts: a few MB per slice, in the right band
+    # (paper Fig 1b peaks between 2 and 4 MB)
+    steady_rx = steady.received_mb()
+    assert 1.0 <= steady_rx.max() <= 8.0
+    # communication happens *between* processing bursts: the hottest
+    # receive slices are not the hottest write slices
+    hot_rx = set(np.argsort(steady_rx)[-5:])
+    hot_iws = set(np.argsort(steady.iws_mb())[-5:])
+    assert len(hot_rx & hot_iws) <= 2

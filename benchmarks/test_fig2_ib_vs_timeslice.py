@@ -1,0 +1,57 @@
+"""Fig 2: maximum and average IB versus timeslice (1-20 s), six panels:
+Sage-1000MB, Sweep3D, BT, SP, FT, LU.
+
+Shape requirements: IB decreases as the timeslice grows (page reuse
+collapses into fewer slices); for the sub-second NAS kernels maximum and
+average practically coincide; the 1 s point reproduces Table 4.
+"""
+
+from conftest import FIG2_TIMESLICES, TABLE4, cached_run, report, within
+
+PANELS = ["sage-1000MB", "sweep3d", "bt", "sp", "ft", "lu"]
+
+
+def build_fig2():
+    curves = {}
+    for name in PANELS:
+        curves[name] = {
+            ts: cached_run(name, timeslice=ts, nranks=2).ib()
+            for ts in FIG2_TIMESLICES
+        }
+    return curves
+
+
+def test_fig2_ib_vs_timeslice(benchmark):
+    curves = benchmark.pedantic(build_fig2, rounds=1, iterations=1)
+    lines = []
+    for name in PANELS:
+        lines.append(f"--- {name} ---")
+        lines.append(f"  {'timeslice':>10s} {'avg MB/s':>9s} {'max MB/s':>9s}")
+        for ts in FIG2_TIMESLICES:
+            s = curves[name][ts]
+            lines.append(f"  {ts:9.0f}s {s.avg_mbps:9.1f} {s.max_mbps:9.1f}")
+    report("Fig 2: IB required for checkpointing vs timeslice", lines,
+           "fig2.txt")
+
+    for name in PANELS:
+        series = [curves[name][ts] for ts in FIG2_TIMESLICES]
+        avg = [s.avg_mbps for s in series]
+        mx = [s.max_mbps for s in series]
+        # monotone (within jitter) decline of the average IB
+        for a, b in zip(avg, avg[1:]):
+            assert b <= a * 1.10 + 0.5, (name, avg)
+        # strong overall decline from 1 s to 20 s
+        assert avg[-1] < avg[0] * 0.5, (name, avg)
+        # max >= avg at every point
+        for a, m in zip(avg, mx):
+            assert m >= a - 1e-6
+        # the 1 s point agrees with Table 4
+        pmax, pavg = TABLE4[name]
+        assert within(avg[0], pavg, rel=0.15), (name, avg[0], pavg)
+        assert within(mx[0], pmax, rel=0.15), (name, mx[0], pmax)
+    # the paper's observation: avg ~= max for timeslices longer than the
+    # burst (the NAS kernels, whose whole iteration fits in a slice)
+    for name in ("sp", "lu", "bt"):
+        for ts in FIG2_TIMESLICES:
+            s = curves[name][ts]
+            assert within(s.max_mbps, s.avg_mbps, rel=0.10), (name, ts)

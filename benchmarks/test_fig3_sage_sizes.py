@@ -1,0 +1,42 @@
+"""Fig 3: average IB versus timeslice for the four Sage problem sizes.
+
+Shape requirements: curves ordered by footprint at every timeslice, all
+declining; growth with footprint is *sublinear* (doubling the footprint
+from 500 MB to 1000 MB raises the 1 s IB to ~80 MB/s, not ~100 MB/s).
+"""
+
+from conftest import FIG2_TIMESLICES, cached_run, report
+
+SIZES = ["sage-50MB", "sage-100MB", "sage-500MB", "sage-1000MB"]
+
+
+def build_fig3():
+    return {
+        name: {ts: cached_run(name, timeslice=ts, nranks=2).ib().avg_mbps
+               for ts in FIG2_TIMESLICES}
+        for name in SIZES
+    }
+
+
+def test_fig3_sage_sizes(benchmark):
+    curves = benchmark.pedantic(build_fig3, rounds=1, iterations=1)
+    header = f"  {'timeslice':>10s} " + " ".join(f"{n:>12s}" for n in SIZES)
+    lines = [header]
+    for ts in FIG2_TIMESLICES:
+        lines.append(f"  {ts:9.0f}s " + " ".join(
+            f"{curves[n][ts]:12.1f}" for n in SIZES))
+    report("Fig 3: average IB (MB/s) for the Sage problem sizes", lines,
+           "fig3.txt")
+
+    # ordering by footprint at every timeslice
+    for ts in FIG2_TIMESLICES:
+        values = [curves[n][ts] for n in SIZES]
+        assert values == sorted(values), (ts, values)
+    # decline with timeslice for every size
+    for name in SIZES:
+        series = [curves[name][ts] for ts in FIG2_TIMESLICES]
+        assert series[-1] < series[0] * 0.6, (name, series)
+    # sublinearity at 1 s: 1000 MB demands less than 2x the 500 MB run,
+    # which demands less than 5x the 100 MB run
+    assert curves["sage-1000MB"][1.0] < 2.0 * curves["sage-500MB"][1.0]
+    assert curves["sage-500MB"][1.0] < 5.0 * curves["sage-100MB"][1.0]

@@ -1,0 +1,42 @@
+"""Fig 4: ratio of IWS size to memory-image size versus timeslice, for
+the four Sage problem sizes.
+
+Shape requirements: the ratio grows with the timeslice (longer windows
+accumulate more of the working set) and *decreases* with the memory
+footprint at a fixed timeslice -- the mechanism behind Fig 3's sublinear
+bandwidth growth.
+"""
+
+from conftest import FIG2_TIMESLICES, cached_run, report
+
+SIZES = ["sage-50MB", "sage-100MB", "sage-500MB", "sage-1000MB"]
+
+
+def build_fig4():
+    return {
+        name: {ts: cached_run(name, timeslice=ts, nranks=2).iws_ratio()
+               for ts in FIG2_TIMESLICES}
+        for name in SIZES
+    }
+
+
+def test_fig4_iws_ratio(benchmark):
+    curves = benchmark.pedantic(build_fig4, rounds=1, iterations=1)
+    header = f"  {'timeslice':>10s} " + " ".join(f"{n:>12s}" for n in SIZES)
+    lines = [header]
+    for ts in FIG2_TIMESLICES:
+        lines.append(f"  {ts:9.0f}s " + " ".join(
+            f"{curves[n][ts]:12.1%}" for n in SIZES))
+    report("Fig 4: ratio of IWS size to memory image size per timeslice",
+           lines, "fig4.txt")
+
+    for name in SIZES:
+        series = [curves[name][ts] for ts in FIG2_TIMESLICES]
+        assert all(0 <= v <= 1 for v in series), (name, series)
+        # grows with the timeslice overall
+        assert series[-1] > series[0], (name, series)
+    # decreases with footprint: at every timeslice the biggest Sage has
+    # the smallest IWS/footprint ratio
+    for ts in FIG2_TIMESLICES:
+        assert curves["sage-1000MB"][ts] < curves["sage-50MB"][ts], ts
+        assert curves["sage-500MB"][ts] < curves["sage-50MB"][ts], ts

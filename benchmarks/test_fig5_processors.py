@@ -1,0 +1,45 @@
+"""Fig 5: average IB versus timeslice for 8, 16, 32 and 64 processors
+(Sage-1000MB under weak scaling).
+
+Shape requirements: the processor count barely moves the per-process IB,
+and what effect exists is a slight *decrease* at larger counts (the
+paper's argument that the results generalize to bigger machines).
+"""
+
+from conftest import cached_run, report
+
+RANKS = [8, 16, 32, 64]
+TIMESLICES = [1.0, 5.0, 20.0]
+APP = "sage-1000MB"
+
+
+def build_fig5():
+    return {
+        n: {ts: cached_run(APP, timeslice=ts, nranks=n).ib().avg_mbps
+            for ts in TIMESLICES}
+        for n in RANKS
+    }
+
+
+def test_fig5_processors(benchmark):
+    curves = benchmark.pedantic(build_fig5, rounds=1, iterations=1)
+    header = f"  {'timeslice':>10s} " + " ".join(f"{n:>4d}p" for n in RANKS)
+    lines = [header]
+    for ts in TIMESLICES:
+        lines.append(f"  {ts:9.0f}s " + " ".join(
+            f"{curves[n][ts]:5.1f}" for n in RANKS))
+    report(f"Fig 5: average per-process IB (MB/s) for {APP}, weak scaling",
+           lines, "fig5.txt")
+
+    for ts in TIMESLICES:
+        values = [curves[n][ts] for n in RANKS]
+        # no significant influence: within 10% of the 8-processor value
+        for v in values:
+            assert abs(v - values[0]) <= 0.10 * values[0] + 0.2, (ts, values)
+    # slightly lower at 64 than at 8 processors (the paper's contribution
+    # claim), asserted at the 1 s timeslice where the effect is not
+    # swamped by slice-quantization jitter
+    fine = [curves[n][1.0] for n in RANKS]
+    assert fine[-1] < fine[0], fine
+    for a, b in zip(fine, fine[1:]):
+        assert b <= a + 0.02 * fine[0], fine

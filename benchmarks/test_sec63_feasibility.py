@@ -1,0 +1,36 @@
+"""Section 6.3's comparison: demand versus the 2004 technology envelope.
+
+The quotable numbers: even at a 1 s timeslice every application's
+maximum IB sits below both the QsNet II peak (900 MB/s) and the SCSI
+peak (320 MB/s); Sage-1000MB averages ~9 % of the network and ~25 % of
+the disk bandwidth.
+"""
+
+from conftest import PAPER_ORDER, cached_run, report
+
+from repro.feasibility import FeasibilityAnalyzer
+
+
+def build_verdicts():
+    analyzer = FeasibilityAnalyzer()
+    return [analyzer.assess(name, cached_run(name, timeslice=1.0).ib())
+            for name in PAPER_ORDER], analyzer
+
+
+def test_sec63_feasibility(benchmark):
+    verdicts, analyzer = benchmark.pedantic(build_verdicts, rounds=1,
+                                            iterations=1)
+    report("Section 6.3: feasibility against 2004 technology",
+           analyzer.report(verdicts).splitlines(), "sec63.txt")
+
+    assert all(v.feasible for v in verdicts), \
+        [v.app_name for v in verdicts if not v.feasible]
+    sage = next(v for v in verdicts if v.app_name == "sage-1000MB")
+    # the paper's quoted fractions: "9% of the available peak network and
+    # 25% of the peak disk bandwidth"
+    assert abs(sage.avg_fraction_of_network - 0.09) < 0.03
+    assert abs(sage.avg_fraction_of_disk - 0.25) < 0.06
+    # every max IB below both peaks
+    for v in verdicts:
+        assert v.max_fraction_of_network < 1.0
+        assert v.max_fraction_of_disk < 1.0

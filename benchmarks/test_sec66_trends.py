@@ -1,0 +1,46 @@
+"""Section 6.6: technological trends.
+
+Extrapolates the feasibility margin: application write rates are bounded
+by the memory system (+7 %/yr against +60 %/yr processors), while
+network and storage bandwidth grow faster -- 10 Gb/s InfiniBand by 2005
+-- so incremental checkpointing becomes *more* effective over time.
+"""
+
+from conftest import cached_run, report
+
+from repro.feasibility import TechnologyEnvelope, TrendModel
+from repro.net import INFINIBAND_10G
+from repro.units import MiB
+
+
+def build_trends():
+    demand = cached_run("sage-1000MB", timeslice=1.0).ib().avg_mbps * MiB
+    trends = TrendModel()
+    envelope = TechnologyEnvelope()
+    return demand, trends, trends.margin_trajectory(demand, envelope, years=6)
+
+
+def test_sec66_trends(benchmark):
+    demand, trends, trajectory = benchmark.pedantic(build_trends, rounds=1,
+                                                    iterations=1)
+    lines = [f"most demanding application (Sage-1000MB): "
+             f"{demand / MiB:.1f} MB/s at a 1 s timeslice",
+             f"growth rates: processor {trends.processor_growth:.0%}/yr, "
+             f"memory {trends.memory_growth:.0%}/yr, application writes "
+             f"{trends.app_write_growth:.0%}/yr, network "
+             f"{trends.network_growth:.0%}/yr, storage "
+             f"{trends.storage_growth:.0%}/yr",
+             "",
+             f"  {'year':>6s} {'demand/bottleneck':>18s}"]
+    for year, margin in trajectory:
+        lines.append(f"  {year:6d} {margin:18.1%}")
+    report("Section 6.6: technological trends", lines, "sec66.txt")
+
+    margins = [m for _, m in trajectory]
+    # monotone improvement, starting from the ~25%-of-disk 2004 point
+    assert 0.15 < margins[0] < 0.35
+    assert all(b < a for a, b in zip(margins, margins[1:]))
+    # the paper's 2005 anchor: 10 Gb/s InfiniBand exceeds QsNet II
+    env_2005 = trends.project(TechnologyEnvelope(), 1)
+    assert INFINIBAND_10G.bandwidth > TechnologyEnvelope().network_bandwidth
+    assert env_2005.network_bandwidth > TechnologyEnvelope().network_bandwidth

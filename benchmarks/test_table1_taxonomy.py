@@ -1,0 +1,28 @@
+"""Table 1: comparison of the checkpointing abstraction levels.
+
+The table is qualitative; the bench renders it from the structured
+taxonomy and checks the orderings the paper's argument rests on.
+"""
+
+from conftest import report
+
+from repro.feasibility import ABSTRACTION_LEVELS
+from repro.feasibility.taxonomy import render_table1
+
+
+def build_table1() -> str:
+    return render_table1()
+
+
+def test_table1_taxonomy(benchmark):
+    text = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    report("Table 1: checkpointing abstraction levels", text.splitlines(),
+           "table1.txt")
+    by_name = {l.name: l for l in ABSTRACTION_LEVELS}
+    os_level = by_name["Operating system"]
+    # the paper's conclusion: the OS level offers the transparency and
+    # flexibility of hardware without its (very low) portability
+    hw = by_name["Hardware"]
+    assert os_level.transparency == hw.transparency
+    assert os_level.flexibility == hw.flexibility
+    assert os_level.portability > hw.portability

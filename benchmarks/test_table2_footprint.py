@@ -1,0 +1,41 @@
+"""Table 2: maximum and average memory footprint per application.
+
+Regenerates the footprint measurements from instrumented runs at a 1 s
+timeslice.  Sage's footprint oscillates (dynamic allocation of
+temporaries); the static Fortran77 codes hold constant.
+"""
+
+from conftest import PAPER_ORDER, TABLE2, cached_run, report, within
+
+
+def build_table2():
+    rows = {}
+    for name in PAPER_ORDER:
+        result = cached_run(name, timeslice=1.0)
+        rows[name] = result.footprint()
+    return rows
+
+
+def test_table2_footprint(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    lines = [f"{'Application':14s} {'Max (sim)':>10s} {'Max (paper)':>12s} "
+             f"{'Avg (sim)':>10s} {'Avg (paper)':>12s}"]
+    for name in PAPER_ORDER:
+        fp = rows[name]
+        pmax, pavg = TABLE2[name]
+        lines.append(f"{name:14s} {fp.max_mb:10.1f} {pmax:12.1f} "
+                     f"{fp.avg_mb:10.1f} {pavg:12.1f}")
+    report("Table 2: memory footprint size (MB)", lines, "table2.txt")
+
+    for name in PAPER_ORDER:
+        fp = rows[name]
+        pmax, pavg = TABLE2[name]
+        assert within(fp.max_mb, pmax, rel=0.12), (name, fp.max_mb, pmax)
+        assert within(fp.avg_mb, pavg, rel=0.12), (name, fp.avg_mb, pavg)
+    # Sage oscillates, the static codes do not
+    for name in PAPER_ORDER:
+        fp = rows[name]
+        if name.startswith("sage"):
+            assert fp.max_mb > fp.avg_mb * 1.05, name
+        else:
+            assert within(fp.max_mb, fp.avg_mb, rel=0.02), name

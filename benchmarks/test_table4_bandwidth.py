@@ -1,0 +1,47 @@
+"""Table 4: maximum and average incremental bandwidth at a 1 s timeslice.
+
+This is the paper's headline measurement: even the most demanding
+application (Sage-1000MB) averages under 100 MB/s per process.
+"""
+
+from conftest import PAPER_ORDER, TABLE4, cached_run, report, within
+
+
+def build_table4():
+    return {name: cached_run(name, timeslice=1.0).ib()
+            for name in PAPER_ORDER}
+
+
+def test_table4_bandwidth(benchmark):
+    rows = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    lines = [f"{'Application':14s} {'Max (sim)':>10s} {'Max (paper)':>12s} "
+             f"{'Avg (sim)':>10s} {'Avg (paper)':>12s}"]
+    for name in PAPER_ORDER:
+        s = rows[name]
+        pmax, pavg = TABLE4[name]
+        lines.append(f"{name:14s} {s.max_mbps:10.1f} {pmax:12.1f} "
+                     f"{s.avg_mbps:10.1f} {pavg:12.1f}")
+    report("Table 4: bandwidth requirements (MB/s), timeslice 1 s", lines,
+           "table4.txt")
+
+    for name in PAPER_ORDER:
+        s = rows[name]
+        pmax, pavg = TABLE4[name]
+        assert within(s.avg_mbps, pavg, rel=0.15), (name, s.avg_mbps, pavg)
+        assert within(s.max_mbps, pmax, rel=0.15), (name, s.max_mbps, pmax)
+
+    avg = {n: rows[n].avg_mbps for n in PAPER_ORDER}
+    # the orderings the paper's narrative relies on
+    assert avg["ft"] > avg["sage-1000MB"] > avg["bt"]      # FT heaviest
+    assert avg["sage-1000MB"] > avg["sage-500MB"] > avg["sage-100MB"] \
+        > avg["sage-50MB"]                                  # size ordering
+    assert avg["lu"] < 15                                   # LU lightest NAS
+    # everything under 100 MB/s average -- the conclusion's number
+    assert all(v < 100 for v in avg.values())
+    # max >= avg everywhere; equal for the sub-second NAS kernels
+    for name in PAPER_ORDER:
+        s = rows[name]
+        assert s.max_mbps >= s.avg_mbps - 1e-6
+    for name in ("sp", "lu"):
+        s = rows[name]
+        assert within(s.max_mbps, s.avg_mbps, rel=0.05), name

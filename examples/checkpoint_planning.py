@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Burst-aware checkpoint placement (section 6.2).
+
+The paper observes that scientific codes alternate processing and
+communication bursts, and that "it may not be convenient to checkpoint
+during a processing burst, because pages are likely to be re-used in a
+short amount of time."  This example quantifies that advice:
+
+1. run Sage-100MB instrumented and detect its bursts automatically from
+   the IWS series (the run-time identification the paper anticipates);
+2. place checkpoints two ways -- a naive fixed interval, and the same
+   frequency snapped to the quiet gaps between bursts;
+3. compare the copy-on-write exposure of both plans: the bytes the
+   application rewrites while each checkpoint is still streaming to
+   disk.
+
+Run:  python examples/checkpoint_planning.py
+"""
+
+from repro.checkpoint import CheckpointPlanner
+from repro.cluster.experiment import paper_config, run_experiment
+from repro.metrics import estimate_period
+from repro.storage import SCSI_ULTRA320
+from repro.units import MiB, fmt_bytes
+
+
+def main() -> None:
+    config = paper_config("sage-100MB", nranks=4, timeslice=1.0,
+                          run_duration=160.0)
+    result = run_experiment(config)
+    log = result.log(0)
+    steady = log.after(result.init_end_time)
+
+    period = estimate_period(steady.iws_bytes(), log.timeslice)
+    print(f"detected iteration period: {period:.0f} s "
+          f"(configured {config.spec.iteration_period:.0f} s)")
+
+    planner = CheckpointPlanner(log, skip_until=result.init_end_time)
+    bursts = planner.bursts()
+    print(f"detected {len(bursts)} processing bursts; duty cycle "
+          f"{sum(b.length for b in bursts) / len(steady):.0%}")
+
+    # checkpoint once per iteration; the stream must move one iteration's
+    # delta through the SCSI disk
+    interval = max(1, round(period / log.timeslice))
+    delta_bytes = steady.iws_bytes().mean() * interval
+    write_duration = delta_bytes / SCSI_ULTRA320.bandwidth
+    print(f"\ncheckpoint interval: {interval} slices "
+          f"(~{fmt_bytes(delta_bytes)} per checkpoint, "
+          f"{write_duration:.1f} s to stream at "
+          f"{SCSI_ULTRA320.bandwidth / MiB:.0f} MB/s)")
+
+    fixed = planner.fixed_plan(interval)
+    aware = planner.burst_aware_plan(interval)
+    cost_fixed = planner.plan_cost(fixed, write_duration)
+    cost_aware = planner.plan_cost(aware, write_duration)
+
+    print(f"\nfixed-interval plan   : {len(fixed)} checkpoints, "
+          f"copy-on-write exposure {fmt_bytes(cost_fixed)}")
+    print(f"burst-aware plan      : {len(aware)} checkpoints, "
+          f"copy-on-write exposure {fmt_bytes(cost_aware)}")
+    if cost_fixed > 0:
+        saving = 1 - cost_aware / cost_fixed
+        print(f"burst-aware placement cuts copy-on-write pressure by "
+              f"{saving:.0%}")
+    print("\n(a production system would get the same boundaries from the "
+          "global\n operators of STORM-like resource managers, as the "
+          "paper suggests)")
+
+
+if __name__ == "__main__":
+    main()

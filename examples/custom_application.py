@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Instrumenting your own application with the phase DSL.
+
+The calibrated paper workloads are built from the same pieces exposed
+here: define a workload spec (footprint, rhythm, communication), or go
+lower-level and compose iteration phases by hand, then measure its
+incremental-bandwidth profile and ask whether your cluster could
+checkpoint it every second.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro.apps.phases import (
+    AllocPhase,
+    ComputePhase,
+    FreePhase,
+    HaloExchangePhase,
+    IdlePhase,
+)
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.cluster.experiment import ExperimentConfig
+from repro.cluster import run_experiment
+from repro.feasibility import FeasibilityAnalyzer
+from repro.units import MiB
+
+
+def custom_phases(rc):
+    """One iteration of a made-up 'ocean model': a temporary scratch
+    grid, two solver sweeps with a halo exchange between them, and a
+    quiet I/O gap."""
+    return [
+        AllocPhase("scratch", nbytes=2 * MiB, duration=0.1),
+        ComputePhase("main", duration=0.6, passes=2.0, label="baroclinic"),
+        HaloExchangePhase(nbytes_total=512 * 1024, duration=0.2, rounds=2),
+        ComputePhase("main", duration=0.4, passes=1.0, label="barotropic"),
+        FreePhase("scratch"),
+        IdlePhase(0.7, label="diagnostics"),
+    ]
+
+
+def main() -> None:
+    spec = small_spec(
+        name="ocean-model",
+        footprint_mb=24.0,     # per-process data memory
+        main_mb=10.0,          # the solver's working set
+        period=2.0,            # one model step every 2 s
+        comm_mb=0.5,
+        pattern="grid2d",
+    )
+    app_factory = lambda: SyntheticApp(spec, run_duration=30.0,
+                                       phase_factory=custom_phases)
+
+    # the harness accepts any spec; we only need to substitute the app.
+    # Build the pieces directly to show what run_experiment does inside.
+    from repro.instrument import InstrumentationLibrary, TrackerConfig
+    from repro.mpi import MPIJob
+    from repro.sim import Engine
+
+    engine = Engine()
+    app = app_factory()
+    job = MPIJob(engine, 4, process_factory=app.process_factory(engine))
+    library = InstrumentationLibrary(TrackerConfig(timeslice=1.0),
+                                     app_name=spec.name).install(job)
+    job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+
+    log = library.records(0)
+    rc = app.contexts[0]
+    steady = log.after(rc.init_end_time)
+
+    print(f"custom application {spec.name!r}: "
+          f"{rc.iterations} iterations, footprint "
+          f"{log.footprint_mb().max():.1f} MB/process")
+    print("\nIWS per 1 s timeslice (MB):")
+    print("  " + " ".join(f"{v:5.1f}" for v in steady.iws_mb()[:15]) + " ...")
+
+    from repro.metrics import ib_stats
+    stats = ib_stats(log, skip_until=rc.init_end_time)
+    print(f"\nincremental bandwidth: avg {stats.avg_mbps:.1f} MB/s, "
+          f"max {stats.max_mbps:.1f} MB/s")
+
+    verdict = FeasibilityAnalyzer().assess(spec.name, stats)
+    print("verdict vs 2004 technology:")
+    print("  " + verdict.as_row())
+    print("\n(the scratch grid is mmap'ed and freed each iteration, so its"
+          "\n pages vanish from the IWS before the alarm -- the paper's"
+          "\n memory-exclusion optimization at work)")
+
+
+if __name__ == "__main__":
+    main()

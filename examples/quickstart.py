@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: measure the checkpoint bandwidth of one application.
+
+Runs Sweep3D (one of the paper's workloads) on a simulated 4-rank
+cluster with the dirty-page instrumentation attached, then prints the
+metrics the paper is built around: the Incremental Working Set per
+timeslice, the average/maximum Incremental Bandwidth, and the
+feasibility verdict against 2004 technology.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster.experiment import paper_config, run_experiment
+from repro.feasibility import FeasibilityAnalyzer
+from repro.metrics import estimate_period
+from repro.units import MiB
+
+
+def main() -> None:
+    # one call: build the cluster, preload the instrumentation library,
+    # launch the calibrated application, run the virtual clock
+    config = paper_config("sweep3d", nranks=4, timeslice=1.0,
+                          run_duration=40.0)
+    result = run_experiment(config)
+
+    log = result.log(rank=0)
+    print(f"application      : {config.spec.name}")
+    print(f"ranks            : {config.nranks}")
+    print(f"timeslice        : {config.timeslice} s")
+    print(f"simulated time   : {result.final_time:.1f} s "
+          f"({result.iterations} main iterations)")
+    print(f"memory footprint : {result.footprint().as_row()}")
+
+    print("\nIWS per timeslice (MB), after initialization:")
+    steady = log.after(result.init_end_time)
+    series = steady.iws_mb()
+    print("  " + " ".join(f"{v:5.1f}" for v in series[:16]) + " ...")
+
+    detected = estimate_period(steady.iws_bytes(), log.timeslice)
+    print(f"\ndetected iteration period : {detected:.1f} s "
+          f"(configured {config.spec.iteration_period} s)")
+
+    stats = result.ib()
+    print(f"incremental bandwidth     : avg {stats.avg_mbps:.1f} MB/s, "
+          f"max {stats.max_mbps:.1f} MB/s")
+    print(f"paper (Table 4)           : avg {config.spec.paper_avg_ib_1s} "
+          f"MB/s, max {config.spec.paper_max_ib_1s} MB/s")
+
+    verdict = FeasibilityAnalyzer().assess(config.spec.name, stats)
+    print(f"\nfeasibility vs 2004 technology (QsNet II 900 MB/s, "
+          f"SCSI 320 MB/s):")
+    print("  " + verdict.as_row())
+
+
+if __name__ == "__main__":
+    main()

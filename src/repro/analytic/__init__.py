@@ -1,0 +1,15 @@
+"""Closed-form IWS/IB predictions from a workload spec.
+
+Because the workload models are analytic (cyclic sweeps at known rates),
+the expected incremental working set per timeslice has a closed form.
+The model here predicts the average and maximum IB as functions of the
+timeslice, which serves two purposes:
+
+1. *validation* -- an ablation bench checks simulation against theory;
+2. *planning* -- a deployment can estimate checkpoint bandwidth for a
+   new timeslice without re-running the application.
+"""
+
+from repro.analytic.model import IBPrediction, predict_ib
+
+__all__ = ["IBPrediction", "predict_ib"]

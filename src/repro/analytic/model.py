@@ -1,0 +1,100 @@
+"""The closed-form timeslice model.
+
+Notation (all sizes in MB, times in seconds):
+
+- ``W``   main working-set region, swept cyclically
+- ``V``   visit volume per iteration = passes * W
+- ``B``   processing-burst duration; sweep rate ``r = V / B``
+- ``T``   iteration period
+- ``tau`` checkpoint timeslice
+
+Within the burst, a timeslice window of length ``tau`` covers ``r*tau``
+visits, hence ``min(r*tau, W)`` unique pages (the sweep wraps once the
+window exceeds the region).  The burst overlaps about ``B/tau + 1``
+slices (the ``+1`` is the boundary-straddling slice), so the per-
+iteration IWS contribution of the sweep is ``min(V, (B/tau + 1) *
+min(r*tau, W))`` -- never more than the raw visit volume.
+
+Temporaries contribute their full size once per iteration (they are
+written once); received data contributes up to the receive-buffer size
+per covering slice, capped by the per-iteration communication volume.
+
+The whole-iteration total divided by ``T`` is the average IB; the
+maximum IB is the largest single-slice contribution over the iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.spec import WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class IBPrediction:
+    """Predicted bandwidth requirements at one timeslice."""
+
+    timeslice: float
+    avg_mbps: float
+    max_mbps: float
+    iws_per_iteration_mb: float
+
+
+def predict_ib(spec: WorkloadSpec, timeslice: float) -> IBPrediction:
+    """Closed-form average/maximum IB for ``spec`` at ``timeslice``."""
+    if timeslice <= 0:
+        raise ConfigurationError(f"timeslice must be positive: {timeslice}")
+    tau = timeslice
+    W = spec.main_region_mb
+    V = spec.passes * W
+    B = spec.burst_duration
+    T = spec.iteration_period
+    r = V / B
+
+    # -- compute sweep ------------------------------------------------------------
+    unique_per_burst_slice = min(r * tau, W)
+    burst_slices = B / tau + 1.0
+    sweep_total = min(V, burst_slices * unique_per_burst_slice)
+
+    # -- temporaries (written once per iteration) -----------------------------------
+    temp_total = spec.temp_mb
+    alloc_dur = (spec.temp_alloc_duration if spec.temp_alloc_duration
+                 else 0.02 * T) or 1e-9
+    temp_rate = spec.temp_mb / alloc_dur if spec.temp_mb else 0.0
+    temp_peak_slice = min(temp_rate * tau, spec.temp_mb)
+
+    # -- received data ---------------------------------------------------------------
+    comm = spec.comm_mb_per_iteration
+    buffer_mb = spec.recv_buffer_bytes / MiB
+    comm_dur = spec.comm_duration or 1e-9
+    comm_slices = comm_dur / tau + 1.0
+    comm_total = min(comm, comm_slices * min(buffer_mb * max(1.0, tau / max(
+        comm_dur / spec.comm_rounds, 1e-9)), comm))
+    comm_total = min(comm_total, comm)
+
+    per_iteration = sweep_total + temp_total + comm_total
+
+    # -- regimes ------------------------------------------------------------------------
+    if tau >= T:
+        # a slice spans whole iterations: unique content per slice is one
+        # iteration's working set (rewrites across iterations collapse)
+        per_slice = min(per_iteration,
+                        W + spec.temp_mb + buffer_mb)
+        # plus additional iterations only re-dirty the same pages
+        avg = per_slice / tau
+        mx = avg
+    else:
+        avg = per_iteration / T
+        # the peak slice can straddle the temporary-allocation spike and
+        # the start of the processing burst (they are adjacent phases)
+        straddle = (min(temp_rate * tau, spec.temp_mb)
+                    + min(r * max(0.0, tau - alloc_dur), W))
+        mx = max(unique_per_burst_slice, temp_peak_slice, straddle,
+                 min(buffer_mb, comm)) / tau
+        mx = min(mx, (W + spec.temp_mb + buffer_mb) / tau)
+        avg = min(avg, mx)
+
+    return IBPrediction(timeslice=tau, avg_mbps=avg, max_mbps=mx,
+                        iws_per_iteration_mb=per_iteration)

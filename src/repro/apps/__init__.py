@@ -1,0 +1,56 @@
+"""Synthetic scientific workloads calibrated to the paper's applications.
+
+The paper instruments real Fortran/MPI codes -- Sage (four problem
+sizes), Sweep3D, and the NAS benchmarks BT, SP, LU, FT.  What the
+instrumentation observes is *not* their numerics but their memory and
+communication behaviour: which pages are written when, how the footprint
+evolves, what arrives off the network.  This package reproduces exactly
+that observable behaviour:
+
+- a workload is a sequence of *iterations*, each made of **phases**:
+  compute bursts (cyclic sweeps over a working-set region, sliced at
+  checkpoint-timeslice boundaries), communication bursts (halo exchange,
+  all-to-all transposes, reductions), allocation/free phases (Sage's
+  dynamic memory), and idle gaps;
+- every workload is calibrated against Tables 2-4: footprint (max and
+  average), main-iteration period, fraction of memory overwritten, and
+  average/maximum incremental bandwidth at a 1 s timeslice.
+
+Use :func:`~repro.apps.registry.build_app` /
+:data:`~repro.apps.registry.PAPER_APPS` to get the paper's nine
+configurations, or :class:`~repro.apps.synthetic.SyntheticApp` to define
+custom behaviour.
+"""
+
+from repro.apps.spec import WorkloadSpec
+from repro.apps.regions import Region
+from repro.apps.phases import (
+    AllocPhase,
+    AlltoallPhase,
+    BarrierPhase,
+    ComputePhase,
+    FreePhase,
+    HaloExchangePhase,
+    IdlePhase,
+    Phase,
+)
+from repro.apps.base import AppRunContext, ScientificApplication
+from repro.apps.registry import PAPER_APPS, build_app, paper_spec
+
+__all__ = [
+    "AllocPhase",
+    "AlltoallPhase",
+    "AppRunContext",
+    "BarrierPhase",
+    "ComputePhase",
+    "FreePhase",
+    "HaloExchangePhase",
+    "IdlePhase",
+    "PAPER_APPS",
+    "Phase",
+    "Region",
+    "ScientificApplication",
+    "WorkloadSpec",
+    "build_app",
+    "paper_spec",
+]

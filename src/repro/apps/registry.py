@@ -1,0 +1,56 @@
+"""Registry of the paper's nine application configurations."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.apps.base import ScientificApplication
+from repro.apps.nas import bt_spec, ft_spec, lu_spec, sp_spec
+from repro.apps.sage import sage_spec
+from repro.apps.spec import WorkloadSpec
+from repro.apps.sweep3d import sweep3d_spec
+from repro.errors import ConfigurationError
+from repro.mem import Layout
+
+#: name -> spec factory, in the order the paper's tables list them
+PAPER_APPS: dict[str, Callable[[], WorkloadSpec]] = {
+    "sage-1000MB": lambda: sage_spec(1000),
+    "sage-500MB": lambda: sage_spec(500),
+    "sage-100MB": lambda: sage_spec(100),
+    "sage-50MB": lambda: sage_spec(50),
+    "sweep3d": sweep3d_spec,
+    "sp": sp_spec,
+    "lu": lu_spec,
+    "bt": bt_spec,
+    "ft": ft_spec,
+}
+
+
+def paper_spec(name: str) -> WorkloadSpec:
+    """The calibrated spec for one of the paper's applications."""
+    try:
+        return PAPER_APPS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown application {name!r}; have {sorted(PAPER_APPS)}") from None
+
+
+def default_run_duration(spec: WorkloadSpec) -> float:
+    """A run long enough to observe several main iterations: at least
+    three periods, at least 30 s (matching the paper's methodology of
+    averaging over many timeslices)."""
+    return max(3.5 * spec.iteration_period, 30.0)
+
+
+def build_app(name: str, *, run_duration: Optional[float] = None,
+              n_iterations: Optional[int] = None,
+              charge_overhead: bool = False,
+              layout: Optional[Layout] = None) -> ScientificApplication:
+    """Construct a ready-to-launch application by paper name."""
+    spec = paper_spec(name)
+    if run_duration is None and n_iterations is None:
+        run_duration = default_run_duration(spec)
+    return ScientificApplication(spec, run_duration=run_duration,
+                                 n_iterations=n_iterations,
+                                 charge_overhead=charge_overhead,
+                                 layout=layout)

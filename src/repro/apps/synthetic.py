@@ -1,0 +1,61 @@
+"""A fully configurable workload for tests and custom experiments.
+
+:class:`SyntheticApp` accepts either a plain :class:`WorkloadSpec` (it
+then behaves exactly like the calibrated paper apps, just smaller) or an
+explicit per-iteration phase list, which lets tests compose arbitrary
+write/communication patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.apps.base import AppRunContext, ScientificApplication
+from repro.apps.phases import Phase
+from repro.apps.spec import WorkloadSpec
+from repro.proc.allocator import AllocStyle
+
+
+def small_spec(name: str = "tiny", *, footprint_mb: float = 4.0,
+               main_mb: float = 2.0, period: float = 2.0,
+               passes: float = 1.0, comm_mb: float = 0.25,
+               pattern: str = "ring", **overrides) -> WorkloadSpec:
+    """A laptop-scale spec with sensible defaults for unit tests."""
+    kwargs = dict(
+        name=name,
+        footprint_mb=footprint_mb,
+        main_region_mb=main_mb,
+        iteration_period=period,
+        passes=passes,
+        burst_fraction=0.5,
+        comm_mb_per_iteration=comm_mb,
+        comm_fraction=0.2,
+        comm_rounds=2,
+        comm_pattern=pattern,
+        alloc_style=AllocStyle.F77,
+        main_allocation="static",
+        init_write_rate_mb=64.0,
+        global_reduction=False,
+    )
+    kwargs.update(overrides)
+    return WorkloadSpec(**kwargs)
+
+
+class SyntheticApp(ScientificApplication):
+    """A :class:`ScientificApplication` with optional custom phases.
+
+    ``phase_factory`` (if given) replaces the spec-derived iteration:
+    it is called with the run context and must return the phase list.
+    """
+
+    def __init__(self, spec: WorkloadSpec, *,
+                 phase_factory: Optional[
+                     Callable[[AppRunContext], Sequence[Phase]]] = None,
+                 **kwargs):
+        super().__init__(spec, **kwargs)
+        self.phase_factory = phase_factory
+
+    def iteration_phases(self, rc: AppRunContext) -> list[Phase]:
+        if self.phase_factory is not None:
+            return list(self.phase_factory(rc))
+        return super().iteration_phases(rc)

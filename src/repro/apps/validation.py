@@ -1,0 +1,108 @@
+"""Programmatic calibration validation: simulated versus paper targets.
+
+Every workload spec carries the paper's reference values (Tables 2-4).
+:func:`validate_app` runs the instrumented simulation and reports the
+relative deviation of each reproduced metric; :func:`validate_all`
+sweeps the nine configurations.  The CLI (``python -m repro validate``)
+and the test suite both consume this, so calibration drift is caught
+mechanically rather than by eyeballing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import PAPER_APPS
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One reproduced metric against its paper value."""
+
+    metric: str
+    simulated: float
+    paper: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation (0 = exact)."""
+        if self.paper == 0:
+            return 0.0 if self.simulated == 0 else float("inf")
+        return abs(self.simulated - self.paper) / abs(self.paper)
+
+    def as_row(self) -> str:
+        """One printable comparison row."""
+        return (f"{self.metric:22s} sim={self.simulated:9.2f} "
+                f"paper={self.paper:9.2f}  ({self.deviation:6.1%})")
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All checks for one application."""
+
+    app_name: str
+    checks: tuple[MetricCheck, ...]
+
+    def worst(self) -> MetricCheck:
+        """The check with the largest relative deviation."""
+        if not self.checks:
+            raise CalibrationError(f"{self.app_name}: no checks ran")
+        return max(self.checks, key=lambda c: c.deviation)
+
+    def passed(self, tolerance: float = 0.15) -> bool:
+        """True when every metric is within ``tolerance``."""
+        return all(c.deviation <= tolerance for c in self.checks)
+
+    def render(self) -> str:
+        """All checks as printable rows."""
+        lines = [f"--- {self.app_name} ---"]
+        lines += ["  " + c.as_row() for c in self.checks]
+        return "\n".join(lines)
+
+
+def validate_app(name: str, *, nranks: int = 2,
+                 timeslice: float = 1.0) -> CalibrationReport:
+    """Run one application and compare against its paper targets."""
+    from repro.cluster.experiment import paper_config, run_experiment
+
+    config = paper_config(name, nranks=nranks, timeslice=timeslice)
+    result = run_experiment(config)
+    spec = config.spec
+    stats = result.ib()
+    fp = result.footprint()
+    checks = [
+        MetricCheck("avg IB @1s (MB/s)", stats.avg_mbps,
+                    spec.paper_avg_ib_1s),
+        MetricCheck("max IB @1s (MB/s)", stats.max_mbps,
+                    spec.paper_max_ib_1s),
+        MetricCheck("footprint max (MB)", fp.max_mb,
+                    spec.paper_footprint_max_mb),
+        MetricCheck("footprint avg (MB)", fp.avg_mb,
+                    spec.paper_footprint_avg_mb),
+        MetricCheck("iteration period (s)", result.measured_period(),
+                    spec.iteration_period),
+    ]
+    return CalibrationReport(app_name=name, checks=tuple(checks))
+
+
+def validate_all(*, nranks: int = 2,
+                 timeslice: float = 1.0) -> dict[str, CalibrationReport]:
+    """Validate every paper application."""
+    return {name: validate_app(name, nranks=nranks, timeslice=timeslice)
+            for name in PAPER_APPS}
+
+
+def summarize(reports: dict[str, CalibrationReport],
+              tolerance: float = 0.15) -> str:
+    """A printable summary with a pass/fail verdict per application."""
+    lines = []
+    for name, report in reports.items():
+        worst = report.worst()
+        verdict = "OK " if report.passed(tolerance) else "DRIFT"
+        lines.append(f"{verdict} {name:14s} worst: {worst.metric} "
+                     f"off by {worst.deviation:.1%}")
+    n_ok = sum(r.passed(tolerance) for r in reports.values())
+    lines.append(f"{n_ok}/{len(reports)} applications within "
+                 f"{tolerance:.0%} of the paper")
+    return "\n".join(lines)

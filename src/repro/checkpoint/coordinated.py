@@ -1,0 +1,212 @@
+"""The coordinated checkpoint engine: every rank, same boundary.
+
+The paper's applications are bulk-synchronous, so a global checkpoint at
+a common timeslice boundary is naturally coordinated: all ranks capture
+their delta at the same alarm index and stream it to stable storage.  A
+global sequence number *commits* only when every rank's piece is durable
+(two-phase in spirit); recovery always targets the latest committed
+sequence, so a failure mid-checkpoint rolls back to the previous one.
+
+The engine rides the instrumentation seams:
+
+- it observes every timeslice (before the tracker resets the dirty set)
+  to accumulate each rank's delta;
+- every ``interval_slices``-th slice it captures -- a full checkpoint
+  every ``full_every`` captures, incremental otherwise;
+- each capture is written to that rank's storage (per-node disk by
+  default; pass a factory for shared arrays or ramdisk-style diskless
+  checkpointing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.checkpoint.cow import CowWriteout
+from repro.checkpoint.full import FullCheckpointer
+from repro.checkpoint.incremental import IncrementalCheckpointer
+from repro.errors import CheckpointError
+from repro.instrument import InstrumentationLibrary
+from repro.instrument.records import TimesliceRecord
+from repro.instrument.tracker import DirtyPageTracker
+from repro.mpi import MPIJob, RankContext
+from repro.storage import CheckpointStore, Disk, SCSI_ULTRA320
+
+
+@dataclass
+class GlobalCheckpoint:
+    """Progress record of one global checkpoint sequence."""
+
+    seq: int
+    kind: str
+    requested_at: float
+    total_bytes: int = 0
+    ranks_stored: int = 0
+    committed_at: Optional[float] = None
+    per_rank_bytes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None
+
+    @property
+    def commit_latency(self) -> float:
+        if self.committed_at is None:
+            raise CheckpointError(f"sequence {self.seq} never committed")
+        return self.committed_at - self.requested_at
+
+
+class CheckpointEngine:
+    """Coordinated full+incremental checkpointing for one job."""
+
+    def __init__(self, job: MPIJob, library: InstrumentationLibrary,
+                 store: Optional[CheckpointStore] = None, *,
+                 interval_slices: int = 1,
+                 full_every: int = 16,
+                 storage_factory: Optional[Callable[[int], Disk]] = None,
+                 keep_payloads: bool = True,
+                 cow: bool = False,
+                 gc: bool = False):
+        if interval_slices < 1:
+            raise CheckpointError(
+                f"interval_slices must be >= 1, got {interval_slices}")
+        if full_every < 1:
+            raise CheckpointError(f"full_every must be >= 1, got {full_every}")
+        self.job = job
+        self.library = library
+        self.store = store or CheckpointStore(job.nranks)
+        self.interval_slices = interval_slices
+        self.full_every = full_every
+        self.keep_payloads = keep_payloads
+        if storage_factory is None:
+            storage_factory = lambda rank: Disk(
+                job.engine, SCSI_ULTRA320, name=f"ckpt-disk.r{rank}")
+        self._disks = {r: storage_factory(r) for r in range(job.nranks)}
+        self._incremental: dict[int, IncrementalCheckpointer] = {}
+        self._full = FullCheckpointer()
+        self._captures: dict[int, int] = {}
+        self.globals: dict[int, GlobalCheckpoint] = {}
+        #: model copy-on-write interference during write-out windows
+        self.cow = cow
+        self._writeouts: list[CowWriteout] = []
+        #: garbage-collect superseded chains once a newer full checkpoint
+        #: commits (bounds stable-storage occupancy; required for
+        #: capacity-limited sinks like diskless buddy memory)
+        self.gc = gc
+        self.bytes_reclaimed = 0
+        # run after the library's own init hook, so the tracker exists
+        job.init_hooks.append(self._on_rank_start)
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def _on_rank_start(self, ctx: RankContext) -> None:
+        rank = ctx.rank
+        tracker = self.library.tracker(rank)
+        old = self._incremental.get(rank)
+        if old is not None:
+            old.detach()
+        inc = IncrementalCheckpointer(ctx.process.memory)
+        inc.mark_baseline()
+        self._incremental[rank] = inc
+        self._captures.setdefault(rank, 0)
+        tracker.slice_listeners.append(
+            lambda record, trk, r=rank: self._on_slice(r, record, trk))
+
+    # -- the per-slice hook -------------------------------------------------------------
+
+    def _on_slice(self, rank: int, record: TimesliceRecord,
+                  tracker: DirtyPageTracker) -> None:
+        inc = self._incremental[rank]
+        inc.observe()
+        if (record.index + 1) % self.interval_slices != 0:
+            return
+        seq = record.index
+        n = self._captures[rank]
+        self._captures[rank] = n + 1
+        now = self.job.engine.now
+        if n % self.full_every == 0:
+            ckpt = self._full.capture(tracker.process.memory, seq,
+                                      taken_at=now)
+            inc.mark_baseline()
+        else:
+            ckpt = inc.capture(seq, taken_at=now)
+        self._write_out(rank, ckpt)
+
+    def _write_out(self, rank: int, ckpt) -> None:
+        now = self.job.engine.now
+        gc = self.globals.get(ckpt.seq)
+        if gc is None:
+            gc = GlobalCheckpoint(seq=ckpt.seq, kind=ckpt.kind,
+                                  requested_at=now)
+            self.globals[ckpt.seq] = gc
+        self.store.put(rank, ckpt.seq, ckpt.kind, ckpt.nbytes,
+                       payload=ckpt if self.keep_payloads else None,
+                       stored_at=now)
+        gc.total_bytes += ckpt.nbytes
+        gc.per_rank_bytes[rank] = ckpt.nbytes
+        disk = self._disks[rank]
+        if self.cow:
+            duration = self._estimate_write_duration(disk, ckpt.nbytes)
+            writeout = CowWriteout(self.job.processes[rank], ckpt, duration)
+            self._writeouts.append(writeout)
+        fut = self._disks[rank].write(ckpt.nbytes)
+        fut.add_callback(lambda done_at, s=ckpt.seq: self._on_durable(s, done_at))
+
+    @staticmethod
+    def _estimate_write_duration(sink, nbytes: int) -> float:
+        """Expected stream duration for the COW window: queueing (if the
+        sink exposes it) plus the transfer at the sink's rate."""
+        delay = sink.queue_delay() if hasattr(sink, "queue_delay") else 0.0
+        if hasattr(sink, "spec"):                      # Disk
+            return delay + sink.spec.write_time(nbytes)
+        if hasattr(sink, "aggregate_bandwidth"):       # StorageArray
+            return delay + nbytes / sink.aggregate_bandwidth()
+        if hasattr(sink, "link"):                      # DisklessSink
+            return delay + sink.link.transfer_time(nbytes)
+        raise CheckpointError(
+            f"cannot estimate write duration for sink {sink!r}")
+
+    def _on_durable(self, seq: int, done_at: float) -> None:
+        record = self.globals[seq]
+        record.ranks_stored += 1
+        if record.ranks_stored == self.job.nranks:
+            record.committed_at = done_at
+            self.store.mark_committed(seq)
+            if self.gc and record.kind == "full":
+                self._collect_garbage(seq)
+
+    def _collect_garbage(self, full_seq: int) -> None:
+        """A committed full checkpoint supersedes everything before it:
+        truncate the chains and hand capacity back to sinks that track
+        occupancy (diskless buddy memory)."""
+        for rank in range(self.job.nranks):
+            reclaimed = self.store.truncate(rank, before_seq=full_seq)
+            self.bytes_reclaimed += reclaimed
+            sink = self._disks[rank]
+            if reclaimed and hasattr(sink, "release"):
+                sink.release(min(reclaimed, sink.bytes_held))
+
+    # -- results ------------------------------------------------------------------------
+
+    def committed(self) -> list[GlobalCheckpoint]:
+        """All committed global checkpoints, oldest first."""
+        return [gc for gc in sorted(self.globals.values(), key=lambda g: g.seq)
+                if gc.committed]
+
+    def bytes_to_storage(self) -> int:
+        """Total checkpoint bytes streamed to disks (all ranks)."""
+        return sum(d.bytes_written for d in self._disks.values())
+
+    def cow_stats(self) -> tuple[int, float]:
+        """(total copy-on-write page copies, total copy time charged)."""
+        return (sum(w.cow_copies for w in self._writeouts),
+                sum(w.cow_time for w in self._writeouts))
+
+    def disk(self, rank: int) -> Disk:
+        """The storage sink serving one rank."""
+        return self._disks[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CheckpointEngine every={self.interval_slices} slices "
+                f"committed={len(self.committed())}>")

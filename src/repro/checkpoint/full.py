@@ -1,0 +1,46 @@
+"""Full checkpoints: save every mapped data page."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.snapshot import Checkpoint, PagePayload, SegmentRecord
+from repro.mem import AddressSpace
+
+
+def geometry_of(memory: AddressSpace) -> tuple[SegmentRecord, ...]:
+    """Geometry records for all currently mapped data segments."""
+    return tuple(SegmentRecord(sid=seg.sid, kind=seg.kind.value,
+                               base=seg.base, npages=seg.npages)
+                 for seg in memory.data_segments())
+
+
+def page_bytes_of(seg, indices: np.ndarray):
+    """Gather real page contents for the saved indices (bytes backend),
+    or None under the signature-only backend."""
+    if seg.contents is None:
+        return None
+    matrix = np.frombuffer(bytes(seg.contents), dtype=np.uint8).reshape(
+        seg.npages, seg.page_size)
+    return matrix[indices].copy()
+
+
+class FullCheckpointer:
+    """Captures the complete data memory (the non-incremental baseline
+    the paper's bandwidth comparison is implicitly made against)."""
+
+    def capture(self, memory: AddressSpace, seq: int,
+                taken_at: float = 0.0) -> Checkpoint:
+        """Snapshot every mapped data page of ``memory``."""
+        payloads = []
+        for seg in memory.data_segments():
+            if seg.npages == 0:
+                continue
+            indices = np.arange(seg.npages, dtype=np.int64)
+            payloads.append(PagePayload(sid=seg.sid, indices=indices,
+                                        versions=seg.pages.versions.copy(),
+                                        page_bytes=page_bytes_of(seg, indices)))
+        return Checkpoint(seq=seq, kind="full", taken_at=taken_at,
+                          page_size=memory.page_size,
+                          geometry=geometry_of(memory),
+                          payloads=tuple(payloads))

@@ -1,0 +1,135 @@
+"""Incremental checkpoints: save only what changed since the last one.
+
+The capture set for one checkpoint interval is the union of
+
+1. the *dirty pages* of every timeslice since the previous capture --
+   harvested via :meth:`observe` before each alarm's dirty-reset (the
+   tracker's ``slice_listeners`` seam), and
+2. *new pages*: pages beyond a segment's size at the previous capture,
+   and whole newly mapped segments.  These are saved unconditionally
+   because writes to them may predate their write-protection (heap
+   growth through ``brk`` is only protected at the next alarm).
+
+Heap shrink-then-regrow between captures is caught through the address
+space's resize listener: the low-water mark marks regrown pages as new.
+Unmapped segments simply vanish from the geometry -- the memory
+exclusion of section 4.2: their dirty pages are never saved.
+
+Contract: a capture is taken at a timeslice alarm, whose handler then
+resets the dirty set and **re-protects the data memory**.  Standalone
+users must do the same (``memory.reset_dirty(); memory.protect_data()``)
+after each capture, or writes following the capture will not fault and
+the next delta will miss them -- exactly the failure mode an OS-level
+implementation prevents by re-arming protection in the handler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.checkpoint.full import geometry_of, page_bytes_of
+from repro.checkpoint.snapshot import Checkpoint, PagePayload
+from repro.errors import CheckpointError
+from repro.mem import AddressSpace
+
+
+class IncrementalCheckpointer:
+    """Per-process incremental capture engine."""
+
+    def __init__(self, memory: AddressSpace):
+        self.memory = memory
+        #: sid -> accumulated dirty mask (grown lazily)
+        self._dirty: dict[int, np.ndarray] = {}
+        #: sid -> segment size (pages) at the last capture
+        self._last_npages: dict[int, int] = {}
+        #: heap low-water mark (pages) since the last capture
+        self._heap_low: Optional[int] = None
+        self._captures = 0
+        memory.heap_resize_listeners.append(self._on_heap_resize)
+
+    # -- observation -----------------------------------------------------------------
+
+    def observe(self) -> None:
+        """Fold the current dirty bits into the accumulator.  Call once
+        per timeslice *before* the tracker resets the dirty set; safe to
+        call at any other time too (idempotent for unchanged state)."""
+        for seg in self.memory.data_segments():
+            if seg.npages == 0:
+                continue
+            acc = self._dirty.get(seg.sid)
+            if acc is None or len(acc) < seg.npages:
+                grown = np.zeros(seg.npages, dtype=bool)
+                if acc is not None:
+                    grown[:len(acc)] = acc
+                acc = grown
+                self._dirty[seg.sid] = acc
+            acc[:seg.npages] |= seg.pages.dirty
+
+    def _on_heap_resize(self, old_npages: int, new_npages: int) -> None:
+        if new_npages < old_npages:
+            low = self._heap_low
+            self._heap_low = new_npages if low is None else min(low, new_npages)
+
+    # -- capture ----------------------------------------------------------------------
+
+    def capture(self, seq: int, taken_at: float = 0.0) -> Checkpoint:
+        """Produce the delta checkpoint and reset the accumulator.
+
+        Includes an implicit :meth:`observe`, so pages dirty *right now*
+        are never missed.
+        """
+        self.observe()
+        payloads = []
+        for seg in self.memory.data_segments():
+            if seg.npages == 0:
+                continue
+            mask = np.zeros(seg.npages, dtype=bool)
+            acc = self._dirty.get(seg.sid)
+            if acc is not None:
+                n = min(len(acc), seg.npages)
+                mask[:n] |= acc[:n]
+            known = self._last_npages.get(seg.sid)
+            if known is None:
+                mask[:] = True              # whole segment is new
+            else:
+                new_from = known
+                if (seg.kind.value == "heap" and self._heap_low is not None):
+                    new_from = min(new_from, self._heap_low)
+                if new_from < seg.npages:
+                    mask[new_from:] = True  # grown/regrown pages
+            indices = np.flatnonzero(mask)
+            if len(indices):
+                payloads.append(PagePayload(
+                    sid=seg.sid, indices=indices,
+                    versions=seg.pages.versions[indices].copy(),
+                    page_bytes=page_bytes_of(seg, indices)))
+        ckpt = Checkpoint(seq=seq, kind="incremental", taken_at=taken_at,
+                          page_size=self.memory.page_size,
+                          geometry=geometry_of(self.memory),
+                          payloads=tuple(payloads))
+        self._reset_after_capture()
+        self._captures += 1
+        return ckpt
+
+    def mark_baseline(self) -> None:
+        """Declare the current state fully saved (call after a *full*
+        checkpoint so the next delta is relative to it)."""
+        self._reset_after_capture()
+
+    def _reset_after_capture(self) -> None:
+        self._dirty.clear()
+        self._heap_low = None
+        self._last_npages = {seg.sid: seg.npages
+                             for seg in self.memory.data_segments()}
+
+    @property
+    def captures(self) -> int:
+        return self._captures
+
+    def detach(self) -> None:
+        """Remove the heap-resize listener (end of life)."""
+        listeners = self.memory.heap_resize_listeners
+        if self._on_heap_resize in listeners:
+            listeners.remove(self._on_heap_resize)

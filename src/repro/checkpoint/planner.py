@@ -1,0 +1,98 @@
+"""Burst-aware checkpoint placement.
+
+Section 6.2: *"there are moments where it is more convenient to take a
+checkpoint, for example at the beginning or at the end of an iteration
+... it may not be convenient to checkpoint during a processing burst,
+because pages are likely to be re-used in a short amount of time."*
+
+The cost model quantifies "not convenient" as copy-on-write pressure: a
+checkpoint that takes ``duration`` seconds to stream out must copy (or
+stall on) every page the application rewrites while the stream is in
+flight.  Placing checkpoints in the quiet gaps between bursts minimizes
+that overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.instrument.records import TraceLog
+from repro.metrics.bursts import detect_bursts, quiet_indices
+
+
+def cow_cost(log: TraceLog, start_index: int, duration: float) -> int:
+    """Bytes the application writes during a checkpoint stream that
+    starts at slice boundary ``start_index`` and lasts ``duration``
+    seconds -- the copy-on-write exposure of that placement."""
+    if duration < 0:
+        raise CheckpointError(f"negative write-out duration {duration}")
+    if not (0 <= start_index <= len(log.records)):
+        raise CheckpointError(
+            f"slice index {start_index} outside trace of {len(log.records)}")
+    remaining = duration
+    total = 0.0
+    for record in log.records[start_index:]:
+        if remaining <= 0:
+            break
+        overlap = min(remaining, record.duration)
+        if record.duration > 0:
+            total += record.iws_bytes * (overlap / record.duration)
+        remaining -= overlap
+    return int(total)
+
+
+class CheckpointPlanner:
+    """Plans checkpoint slice indices from an observed IWS trace."""
+
+    def __init__(self, log: TraceLog, threshold_fraction: float = 0.2,
+                 skip_until: float = 0.0):
+        self.log = log.after(skip_until)
+        if len(self.log) == 0:
+            raise CheckpointError("empty trace; nothing to plan from")
+        self.threshold_fraction = threshold_fraction
+        self._iws = self.log.iws_bytes().astype(float)
+
+    def fixed_plan(self, interval_slices: int) -> list[int]:
+        """Naive plan: every ``interval_slices``-th boundary."""
+        if interval_slices < 1:
+            raise CheckpointError("interval must be >= 1 slice")
+        return list(range(interval_slices, len(self._iws) + 1,
+                          interval_slices))
+
+    def burst_aware_plan(self, interval_slices: int) -> list[int]:
+        """Like :meth:`fixed_plan` but each point snaps to the nearest
+        quiet slice boundary (outside every detected burst), keeping the
+        average frequency."""
+        quiet = set(int(i) for i in quiet_indices(self._iws,
+                                                  self.threshold_fraction))
+        plan = []
+        for target in self.fixed_plan(interval_slices):
+            snapped = self._nearest_quiet(target, quiet,
+                                          radius=interval_slices // 2 or 1)
+            if snapped is not None and (not plan or snapped > plan[-1]):
+                plan.append(snapped)
+            elif not plan or target > plan[-1]:
+                plan.append(target)
+        return plan
+
+    def _nearest_quiet(self, index: int, quiet: set[int],
+                       radius: int) -> Optional[int]:
+        # a checkpoint *at boundary i* streams during slice i, so we want
+        # slice i itself to be quiet
+        for d in range(radius + 1):
+            for cand in (index + d, index - d):
+                if cand in quiet and 0 < cand <= len(self._iws):
+                    return cand
+        return None
+
+    def plan_cost(self, plan: list[int], write_duration: float) -> int:
+        """Total copy-on-write exposure of a plan (bytes)."""
+        return sum(cow_cost(self.log, idx, write_duration)
+                   for idx in plan if idx < len(self.log.records))
+
+    def bursts(self):
+        """The processing bursts detected in the trace."""
+        return detect_bursts(self._iws, self.threshold_fraction)

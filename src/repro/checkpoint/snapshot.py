@@ -1,0 +1,99 @@
+"""Checkpoint objects: what gets written to stable storage.
+
+A checkpoint carries
+
+- the *geometry* of every data segment at capture time (kind, base,
+  size, and the segment's process-unique ``sid`` so chain replay can
+  follow a segment through growth and shrink), and
+- *page payloads*: per segment, the indices of saved pages and their
+  content (64-bit write-version signatures standing in for the page
+  bytes -- see DESIGN.md on content signatures).
+
+``nbytes`` models the stable-storage cost: one page of data per saved
+page plus a small per-segment header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: modelled metadata cost per segment record
+SEGMENT_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """Geometry of one data segment at capture time."""
+
+    sid: int
+    kind: str       #: SegmentKind value ("data", "bss", "heap", "mmap")
+    base: int
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.npages < 0:
+            raise CheckpointError(f"negative page count in segment record")
+
+
+@dataclass(frozen=True)
+class PagePayload:
+    """Saved pages of one segment: parallel index/version arrays, plus
+    (under the bytes backend) the real page contents."""
+
+    sid: int
+    indices: np.ndarray    #: page indices within the segment (ascending)
+    versions: np.ndarray   #: content signature per saved page
+    #: real content, shape (npages, page_size) uint8; None under the
+    #: default signature-only backend
+    page_bytes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.versions):
+            raise CheckpointError("payload index/version length mismatch")
+        if self.page_bytes is not None and len(self.page_bytes) != len(self.indices):
+            raise CheckpointError("payload byte-content length mismatch")
+
+    @property
+    def npages(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One rank's checkpoint: geometry + payloads."""
+
+    seq: int
+    kind: str                       #: "full" or "incremental"
+    taken_at: float
+    page_size: int
+    geometry: tuple[SegmentRecord, ...]
+    payloads: tuple[PagePayload, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("full", "incremental"):
+            raise CheckpointError(f"unknown checkpoint kind {self.kind!r}")
+        sids = {rec.sid for rec in self.geometry}
+        for p in self.payloads:
+            if p.sid not in sids:
+                raise CheckpointError(
+                    f"payload for sid {p.sid} has no geometry record")
+
+    @property
+    def pages_saved(self) -> int:
+        return sum(p.npages for p in self.payloads)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled size on stable storage."""
+        return (self.pages_saved * self.page_size
+                + SEGMENT_HEADER_BYTES * len(self.geometry))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.units import fmt_bytes
+        return (f"<Checkpoint seq={self.seq} {self.kind} "
+                f"pages={self.pages_saved} ({fmt_bytes(self.nbytes)}) "
+                f"t={self.taken_at:.2f}>")

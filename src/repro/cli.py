@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list-apps``
+    The nine calibrated paper workloads with their reference values.
+``run``
+    Run one instrumented experiment and print footprint/IB statistics
+    (optionally save the per-rank traces).
+``sweep``
+    IB versus timeslice for one application (the Fig 2 view).
+``feasibility``
+    Measure every application at a 1 s timeslice and print the section
+    6.3 verdict table, plus the trend extrapolation.
+``table1``
+    Print the abstraction-level taxonomy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps import PAPER_APPS, paper_spec
+from repro.cluster.experiment import paper_config, run_experiment, sweep_timeslices
+from repro.feasibility import FeasibilityAnalyzer, TechnologyEnvelope, TrendModel
+from repro.feasibility.taxonomy import render_table1
+from repro.units import MiB
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On the Feasibility of Incremental "
+                    "Checkpointing for Scientific Computing' (IPDPS 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the calibrated paper workloads")
+
+    run = sub.add_parser("run", help="run one instrumented experiment")
+    run.add_argument("--app", required=True, choices=sorted(PAPER_APPS))
+    run.add_argument("--timeslice", type=float, default=1.0)
+    run.add_argument("--ranks", type=int, default=4)
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds after initialization")
+    run.add_argument("--save-trace", metavar="DIR", default=None,
+                     help="write per-rank traces (npz+json) to DIR")
+
+    sweep = sub.add_parser("sweep", help="IB vs timeslice for one app")
+    sweep.add_argument("--app", required=True, choices=sorted(PAPER_APPS))
+    sweep.add_argument("--timeslices", default="1,2,5,10,15,20",
+                       help="comma-separated seconds")
+    sweep.add_argument("--ranks", type=int, default=2)
+
+    feas = sub.add_parser("feasibility",
+                          help="full Table 4 + section 6.3 verdicts")
+    feas.add_argument("--ranks", type=int, default=2)
+    feas.add_argument("--years", type=int, default=6,
+                      help="trend-extrapolation horizon")
+
+    sub.add_parser("table1", help="print the abstraction-level taxonomy")
+
+    val = sub.add_parser("validate",
+                         help="check every workload's calibration against "
+                              "the paper's tables")
+    val.add_argument("--tolerance", type=float, default=0.15)
+    val.add_argument("--app", default=None, choices=sorted(PAPER_APPS),
+                     help="validate one application (detailed rows)")
+
+    rep = sub.add_parser("report",
+                         help="regenerate the full reproduction report")
+    rep.add_argument("--out", required=True, metavar="DIR")
+    rep.add_argument("--ranks", type=int, default=2)
+    rep.add_argument("--quick", action="store_true",
+                     help="smaller sweeps (seconds instead of ~a minute)")
+
+    ana = sub.add_parser("analyze",
+                         help="compute IWS/IB statistics from saved traces "
+                              "(no re-simulation)")
+    ana.add_argument("--trace", required=True, metavar="DIR",
+                     help="directory written by 'run --save-trace'")
+    ana.add_argument("--skip", type=float, default=0.0,
+                     help="drop timeslices starting before this time "
+                          "(the initialization burst)")
+    return parser
+
+
+def cmd_list_apps(out) -> int:
+    """``list-apps``: print the calibrated workload table."""
+    print(f"{'name':14s} {'footprint':>10s} {'period':>8s} "
+          f"{'avg IB@1s':>10s} {'max IB@1s':>10s}  pattern", file=out)
+    for name in PAPER_APPS:
+        spec = paper_spec(name)
+        print(f"{name:14s} {spec.paper_footprint_max_mb:8.1f}MB "
+              f"{spec.iteration_period:7.2f}s "
+              f"{spec.paper_avg_ib_1s:8.1f}MB/s {spec.paper_max_ib_1s:8.1f}MB/s"
+              f"  {spec.comm_pattern}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    """``run``: one instrumented experiment, stats to stdout."""
+    config = paper_config(args.app, nranks=args.ranks,
+                          timeslice=args.timeslice,
+                          run_duration=args.duration)
+    result = run_experiment(config)
+    print(f"{args.app}: {result.final_time:.1f} s simulated, "
+          f"{result.iterations} iterations, {args.ranks} ranks", file=out)
+    print(f"footprint: {result.footprint().as_row()}", file=out)
+    print(f"IB:        {result.ib().as_row()}", file=out)
+    print(f"period:    {result.measured_period():.2f} s measured "
+          f"({config.spec.iteration_period:.2f} s configured)", file=out)
+    if args.save_trace:
+        from repro.trace import save_traces
+        paths = save_traces(result.logs, args.save_trace)
+        print(f"saved {len(paths)} traces under {args.save_trace}", file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    """``sweep``: IB versus timeslice for one application."""
+    timeslices = [float(t) for t in args.timeslices.split(",") if t]
+    if not timeslices:
+        print("no timeslices given", file=sys.stderr)
+        return 2
+    config = paper_config(args.app, nranks=args.ranks)
+    results = sweep_timeslices(config, timeslices)
+    print(f"{args.app}: average/maximum IB vs timeslice", file=out)
+    for ts in sorted(results):
+        print("  " + results[ts].ib().as_row(), file=out)
+    return 0
+
+
+def cmd_feasibility(args, out) -> int:
+    """``feasibility``: measure all apps and print verdicts + trends."""
+    analyzer = FeasibilityAnalyzer()
+    verdicts = []
+    for name in PAPER_APPS:
+        result = run_experiment(paper_config(name, nranks=args.ranks,
+                                             timeslice=1.0))
+        verdicts.append(analyzer.assess(name, result.ib()))
+    print(analyzer.report(verdicts), file=out)
+    heaviest = max(verdicts, key=lambda v: v.avg_demand)
+    print(f"\ntrend extrapolation for the most demanding application "
+          f"({heaviest.app_name}):", file=out)
+    for year, margin in TrendModel().margin_trajectory(
+            heaviest.avg_demand, TechnologyEnvelope(), years=args.years):
+        print(f"  {year}: demand is {margin:.1%} of the bottleneck",
+              file=out)
+    return 0
+
+
+def cmd_validate(args, out) -> int:
+    """``validate``: calibration drift check (exit 1 on drift)."""
+    from repro.apps.validation import summarize, validate_all, validate_app
+    if args.app is not None:
+        report = validate_app(args.app)
+        print(report.render(), file=out)
+        return 0 if report.passed(args.tolerance) else 1
+    reports = validate_all()
+    print(summarize(reports, tolerance=args.tolerance), file=out)
+    return 0 if all(r.passed(args.tolerance) for r in reports.values()) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _parser().parse_args(argv)
+    if args.command == "list-apps":
+        return cmd_list_apps(out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
+    if args.command == "feasibility":
+        return cmd_feasibility(args, out)
+    if args.command == "table1":
+        print(render_table1(), file=out)
+        return 0
+    if args.command == "validate":
+        return cmd_validate(args, out)
+    if args.command == "report":
+        from repro.report import generate_report
+        path = generate_report(args.out, nranks=args.ranks, quick=args.quick)
+        print(f"report written to {path}", file=out)
+        return 0
+    if args.command == "analyze":
+        return cmd_analyze(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def cmd_analyze(args, out) -> int:
+    """``analyze``: statistics from saved traces, no re-simulation."""
+    from repro.metrics import ib_stats, iws_ratio
+    from repro.metrics.period import estimate_period_from_log
+    from repro.metrics.stats import footprint_stats
+    from repro.trace import load_traces
+
+    logs = load_traces(args.trace)
+    for rank, log in sorted(logs.items()):
+        stats = ib_stats(log, skip_until=args.skip)
+        fp = footprint_stats(log, skip_until=args.skip)
+        line = (f"rank {rank} ({log.app_name}): {stats.as_row()}  "
+                f"footprint {fp.as_row()}  "
+                f"iws/footprint {iws_ratio(log, skip_until=args.skip):.1%}")
+        try:
+            period = estimate_period_from_log(log, skip_until=args.skip)
+            line += f"  period {period:.2f} s"
+        except Exception:
+            pass  # short or aperiodic trace: no period to report
+        print(line, file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Cluster composition and the experiment harness.
+
+:mod:`~repro.cluster.node` models the paper's testbed hardware (HP
+rx2600 nodes: two Itanium II processors, two PCI-X buses, QsNet);
+:mod:`~repro.cluster.experiment` is the one-call harness every benchmark
+and example uses: configure an application, rank count and timeslice,
+run the instrumented job, get traces and derived statistics back.
+"""
+
+from repro.cluster.node import ClusterSpec, NodeSpec, RX2600
+from repro.cluster.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    sweep_processors,
+    sweep_timeslices,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "NodeSpec",
+    "RX2600",
+    "run_experiment",
+    "sweep_processors",
+    "sweep_timeslices",
+]

@@ -1,0 +1,206 @@
+"""The experiment harness: one call from configuration to results.
+
+Every benchmark and example drives the system through
+:func:`run_experiment`: build the cluster, install the instrumentation
+library, launch the calibrated application, run the virtual clock, and
+return per-rank traces plus the derived statistics the paper reports.
+Sweeps over the checkpoint timeslice (Figs 2-4) and the processor count
+(Fig 5) are one-liners on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.apps.base import ScientificApplication
+from repro.apps.registry import default_run_duration, paper_spec
+from repro.apps.spec import WorkloadSpec
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.errors import ConfigurationError
+from repro.instrument import InstrumentationLibrary, TraceLog, TrackerConfig
+from repro.mem import Layout
+from repro.metrics.bandwidth import IBStats, ib_stats, iws_ratio
+from repro.metrics.stats import FootprintStats, footprint_stats
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.units import DEFAULT_PAGE_SIZE, MiB
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything one run needs."""
+
+    spec: WorkloadSpec
+    nranks: int = 4
+    timeslice: float = 1.0
+    run_duration: Optional[float] = None   #: None -> app default
+    charge_overhead: bool = False
+    page_size: int = DEFAULT_PAGE_SIZE
+    procs_per_node: int = 2
+    intercept_receives: bool = True
+    protect_on_map: bool = True
+    fault_cost: float = 15e-6
+    reprotect_cost_per_page: float = 0.2e-6
+    cluster: ClusterSpec = PAPER_CLUSTER
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ConfigurationError("need at least one rank")
+        if self.timeslice <= 0:
+            raise ConfigurationError("timeslice must be positive")
+
+    def scaled(self, **changes) -> "ExperimentConfig":
+        """A copy with some fields replaced (parameter sweeps)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ExperimentResult:
+    """Traces and derived statistics of one run."""
+
+    config: ExperimentConfig
+    logs: dict[int, TraceLog]
+    init_end_time: float          #: when initialization finished (rank 0)
+    iterations: int               #: completed main iterations (rank 0)
+    iteration_starts: list[float]
+    final_time: float
+    app: ScientificApplication = field(repr=False)
+    library: InstrumentationLibrary = field(repr=False)
+    job: MPIJob = field(repr=False)
+
+    # -- derived statistics (rank 0 unless stated; bulk synchrony makes
+    # -- one process representative, section 6.1) -------------------------------
+
+    def log(self, rank: int = 0) -> TraceLog:
+        """One rank's timeslice trace."""
+        return self.logs[rank]
+
+    def ib(self, rank: int = 0) -> IBStats:
+        """IB statistics excluding the initialization burst."""
+        return ib_stats(self.logs[rank], skip_until=self.init_end_time)
+
+    def ib_all_ranks(self) -> dict[int, IBStats]:
+        """Per-rank IB statistics (bulk synchrony makes them agree)."""
+        return {r: ib_stats(log, skip_until=self.init_end_time)
+                for r, log in self.logs.items()}
+
+    def footprint(self, rank: int = 0) -> FootprintStats:
+        """Footprint statistics (Table 2's columns) for one rank."""
+        return footprint_stats(self.logs[rank],
+                               skip_until=self.init_end_time)
+
+    def iws_ratio(self, rank: int = 0) -> float:
+        """Average IWS/footprint ratio (the Fig 4 quantity)."""
+        return iws_ratio(self.logs[rank], skip_until=self.init_end_time)
+
+    def measured_period(self, rank: int = 0) -> float:
+        """Mean observed iteration period."""
+        starts = self.iteration_starts
+        if len(starts) < 2:
+            raise ConfigurationError("fewer than two iterations observed")
+        return (starts[-1] - starts[0]) / (len(starts) - 1)
+
+    def slowdown_vs(self, baseline: "ExperimentResult") -> float:
+        """Relative runtime stretch against an uninstrumented baseline
+        run of the same workload (section 6.5's intrusiveness)."""
+        base = baseline.measured_period()
+        return self.measured_period() / base - 1.0
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one instrumented experiment on the simulated cluster."""
+    engine = Engine()
+    layout = Layout(page_size=config.page_size)
+    run_duration = (config.run_duration
+                    if config.run_duration is not None
+                    else default_run_duration(config.spec))
+    # a meaningful measurement needs several timeslices after the
+    # initialization burst, whatever the timeslice length
+    run_duration = max(run_duration, 5.0 * config.timeslice)
+    app = ScientificApplication(config.spec, run_duration=run_duration,
+                                charge_overhead=config.charge_overhead,
+                                layout=layout)
+    job = MPIJob(engine, config.nranks, layout=layout,
+                 procs_per_node=config.procs_per_node,
+                 process_factory=app.process_factory(engine),
+                 name=config.spec.name)
+    library = InstrumentationLibrary(
+        TrackerConfig(timeslice=config.timeslice,
+                      fault_cost=config.fault_cost,
+                      reprotect_cost_per_page=config.reprotect_cost_per_page,
+                      protect_on_map=config.protect_on_map,
+                      intercept_receives=config.intercept_receives),
+        app_name=config.spec.name).install(job)
+    if not config.intercept_receives:
+        for nic in job.nics:
+            nic.strict_dma = False
+    procs = job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+
+    rc0 = app.contexts[0]
+    return ExperimentResult(
+        config=config,
+        logs=library.all_records(),
+        init_end_time=rc0.init_end_time,
+        iterations=rc0.iterations,
+        iteration_starts=list(rc0.iteration_starts),
+        final_time=engine.now,
+        app=app,
+        library=library,
+        job=job,
+    )
+
+
+def run_uninstrumented(config: ExperimentConfig) -> ExperimentResult:
+    """The same run without any instrumentation (intrusiveness baseline)."""
+    engine = Engine()
+    layout = Layout(page_size=config.page_size)
+    run_duration = (config.run_duration
+                    if config.run_duration is not None
+                    else default_run_duration(config.spec))
+    app = ScientificApplication(config.spec, run_duration=run_duration,
+                                charge_overhead=False, layout=layout)
+    job = MPIJob(engine, config.nranks, layout=layout,
+                 procs_per_node=config.procs_per_node,
+                 process_factory=app.process_factory(engine),
+                 name=config.spec.name)
+    procs = job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    rc0 = app.contexts[0]
+    return ExperimentResult(
+        config=config, logs={}, init_end_time=rc0.init_end_time,
+        iterations=rc0.iterations,
+        iteration_starts=list(rc0.iteration_starts),
+        final_time=engine.now, app=app, library=None, job=job)  # type: ignore[arg-type]
+
+
+def sweep_timeslices(config: ExperimentConfig,
+                     timeslices: list[float]) -> dict[float, ExperimentResult]:
+    """One run per timeslice (the sweep behind Figs 2-4).  Re-running per
+    timeslice matters: page reuse within longer slices cannot be derived
+    from a finer-grained run, because the dirty set resets at each alarm."""
+    if not timeslices:
+        raise ConfigurationError("empty timeslice sweep")
+    return {ts: run_experiment(config.scaled(timeslice=ts))
+            for ts in timeslices}
+
+
+def sweep_processors(config: ExperimentConfig,
+                     nranks_list: list[int]) -> dict[int, ExperimentResult]:
+    """One run per processor count under weak scaling (Fig 5): the
+    per-process footprint is fixed; only the rank count changes."""
+    if not nranks_list:
+        raise ConfigurationError("empty processor sweep")
+    return {n: run_experiment(config.scaled(nranks=n)) for n in nranks_list}
+
+
+def paper_config(name: str, **overrides) -> ExperimentConfig:
+    """An :class:`ExperimentConfig` for one of the paper's applications."""
+    return ExperimentConfig(spec=paper_spec(name), **overrides)

@@ -1,0 +1,41 @@
+"""Feasibility analysis: the paper's headline argument.
+
+Compares measured incremental-bandwidth requirements against what the
+technology provides -- QsNet II at 900 MB/s and Ultra320 SCSI at
+320 MB/s in 2004 -- and extrapolates the technology trends of section
+6.6 (processors +60 %/yr, memory +7 %/yr, networks and storage growing
+faster than application write rates), concluding that incremental
+checkpointing only gets *more* feasible over time.
+
+Also carries Table 1's qualitative taxonomy of checkpointing abstraction
+levels (:mod:`~repro.feasibility.taxonomy`).
+"""
+
+from repro.feasibility.technology import TechnologyEnvelope, TrendModel
+from repro.feasibility.analyzer import FeasibilityAnalyzer, FeasibilityVerdict
+from repro.feasibility.taxonomy import ABSTRACTION_LEVELS, AbstractionLevel
+from repro.feasibility.availability import (
+    CheckpointCostModel,
+    FailureModel,
+    efficiency,
+    efficiency_curve,
+    optimal_efficiency,
+    scale_study,
+    young_interval,
+)
+
+__all__ = [
+    "ABSTRACTION_LEVELS",
+    "AbstractionLevel",
+    "CheckpointCostModel",
+    "FailureModel",
+    "FeasibilityAnalyzer",
+    "FeasibilityVerdict",
+    "TechnologyEnvelope",
+    "TrendModel",
+    "efficiency",
+    "efficiency_curve",
+    "optimal_efficiency",
+    "scale_study",
+    "young_interval",
+]

@@ -1,0 +1,103 @@
+"""Technology envelope and trend extrapolation (sections 3 and 6.6).
+
+The paper's 2004 baseline: QsNet II (Elan4) at a 900 MB/s peak and
+Ultra320 SCSI at 320 MB/s.  Its trend argument: processor performance
+grows ~60 %/yr while memory performance grows ~7 %/yr (Hennessy &
+Patterson), so application *write rates* -- bounded by the memory
+system -- double only every two to three years, while networking and
+storage bandwidth grow faster (10 Gb/s InfiniBand by 2005), widening the
+feasibility margin every year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.models import LinkSpec, QSNET2
+from repro.storage.models import DiskSpec, SCSI_ULTRA320
+
+
+@dataclass(frozen=True)
+class TechnologyEnvelope:
+    """What the platform offers a checkpoint stream, B/s."""
+
+    network: LinkSpec = QSNET2
+    disk: DiskSpec = SCSI_ULTRA320
+    year: int = 2004
+
+    @property
+    def network_bandwidth(self) -> float:
+        return self.network.bandwidth
+
+    @property
+    def disk_bandwidth(self) -> float:
+        return self.disk.bandwidth
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """The binding constraint for saving checkpoints to stable
+        storage: the slower of network and disk."""
+        return min(self.network.bandwidth, self.disk.bandwidth)
+
+
+@dataclass(frozen=True)
+class TrendModel:
+    """Annual growth rates (fractions per year).
+
+    Defaults: processor and memory growth are the paper's Hennessy &
+    Patterson figures.  Application *write rates* are bounded by the
+    memory system, not by the processor -- the paper's core trend
+    argument -- so they track memory growth plus modest algorithmic
+    gains (~15 %/yr), well below network growth (anchored on QsNet II
+    2003 -> 10 Gb/s InfiniBand 2005, ~25 %/yr) and the storage roadmap
+    of the era (~30 %/yr).  Hence the margin widens every year.
+    """
+
+    processor_growth: float = 0.60
+    memory_growth: float = 0.07
+    app_write_growth: float = 0.15       # memory-bound + algorithmic gains
+    network_growth: float = 0.25
+    storage_growth: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in ("processor_growth", "memory_growth", "app_write_growth",
+                     "network_growth", "storage_growth"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def project(self, envelope: TechnologyEnvelope,
+                years: int) -> TechnologyEnvelope:
+        """The envelope ``years`` ahead."""
+        if years < 0:
+            raise ConfigurationError(f"cannot project {years} years back")
+        net_scale = (1 + self.network_growth) ** years
+        disk_scale = (1 + self.storage_growth) ** years
+        network = LinkSpec(f"{envelope.network.name} (+{years}y)",
+                           bandwidth=envelope.network.bandwidth * net_scale,
+                           latency=envelope.network.latency,
+                           per_hop_latency=envelope.network.per_hop_latency)
+        disk = DiskSpec(f"{envelope.disk.name} (+{years}y)",
+                        bandwidth=envelope.disk.bandwidth * disk_scale,
+                        seek_latency=envelope.disk.seek_latency)
+        return TechnologyEnvelope(network=network, disk=disk,
+                                  year=envelope.year + years)
+
+    def project_write_rate(self, rate: float, years: int) -> float:
+        """An application's incremental-bandwidth demand ``years`` ahead
+        (weak scaling: footprint per process constant, write rate grows
+        with application performance)."""
+        if years < 0:
+            raise ConfigurationError(f"cannot project {years} years back")
+        return rate * (1 + self.app_write_growth) ** years
+
+    def margin_trajectory(self, demand: float, envelope: TechnologyEnvelope,
+                          years: int) -> list[tuple[int, float]]:
+        """(year, demand/bottleneck) pairs -- the feasibility margin over
+        time.  A decreasing series is the section 6.6 conclusion."""
+        out = []
+        for dy in range(years + 1):
+            env = self.project(envelope, dy)
+            dem = self.project_write_rate(demand, dy)
+            out.append((env.year, dem / env.bottleneck_bandwidth))
+        return out

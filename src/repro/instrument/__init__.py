@@ -1,0 +1,33 @@
+"""The paper's instrumentation library, reproduced over the simulator.
+
+This is the system under study (section 4): a library preloaded into an
+unmodified MPI application that
+
+1. intercepts ``MPI_Init`` to install its handlers, write-protect the
+   data memory, and arm the checkpoint-timeslice alarm;
+2. services write-protection faults (SIGSEGV) by recording the faulting
+   page as *dirty* and unprotecting it, so each page faults at most once
+   per timeslice;
+3. on each alarm (SIGALRM) records the **Incremental Working Set** (the
+   dirty pages of the currently mapped data memory -- unmapped regions
+   are excluded), the footprint, and the data received, then resets the
+   dirty set and re-protects everything;
+4. intercepts ``mmap``/``munmap`` to track dynamic regions, and receive
+   calls to bounce incoming QsNet DMA through an unprotected buffer.
+
+:class:`~repro.instrument.preload.InstrumentationLibrary` is the
+"LD_PRELOAD" entry point: install it on an :class:`~repro.mpi.MPIJob`
+and every rank gets its own :class:`~repro.instrument.tracker.DirtyPageTracker`.
+"""
+
+from repro.instrument.records import TimesliceRecord, TraceLog
+from repro.instrument.tracker import DirtyPageTracker, TrackerConfig
+from repro.instrument.preload import InstrumentationLibrary
+
+__all__ = [
+    "DirtyPageTracker",
+    "InstrumentationLibrary",
+    "TimesliceRecord",
+    "TraceLog",
+    "TrackerConfig",
+]

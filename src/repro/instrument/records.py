@@ -1,0 +1,120 @@
+"""Trace records produced by the dirty-page tracker.
+
+One :class:`TimesliceRecord` per checkpoint timeslice per rank; a
+:class:`TraceLog` collects a rank's records and exposes the series the
+paper plots: IWS size over time (Fig 1a), data received per timeslice
+(Fig 1b), footprint over time (Table 2), fault counts and instrumentation
+overhead (section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class TimesliceRecord:
+    """What the alarm handler logs at the end of one timeslice."""
+
+    index: int              #: timeslice number (0-based)
+    t_start: float          #: virtual time at slice start
+    t_end: float            #: virtual time at the alarm
+    iws_pages: int          #: dirty pages of currently mapped data memory
+    iws_bytes: int          #: the same, in bytes
+    footprint_bytes: int    #: mapped data memory at the alarm
+    faults: int             #: protection faults taken during the slice
+    received_bytes: int     #: message payload received during the slice
+    overhead_time: float    #: instrumentation CPU time accrued this slice
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def iws_mb(self) -> float:
+        return self.iws_bytes / MiB
+
+    @property
+    def ib_bytes_per_s(self) -> float:
+        """Incremental bandwidth of this slice: IWS / timeslice."""
+        return self.iws_bytes / self.duration if self.duration > 0 else 0.0
+
+
+class TraceLog:
+    """A rank's timeslice records plus run metadata."""
+
+    def __init__(self, *, rank: int, timeslice: float, page_size: int,
+                 app_name: str = ""):
+        self.rank = rank
+        self.timeslice = timeslice
+        self.page_size = page_size
+        self.app_name = app_name
+        self.records: list[TimesliceRecord] = []
+
+    def append(self, record: TimesliceRecord) -> None:
+        """Add one timeslice record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- series views ----------------------------------------------------------------
+
+    def after(self, t: float) -> "TraceLog":
+        """A view containing only slices that *start* at or after ``t``
+        (used to drop the initialization burst, as the paper does)."""
+        out = TraceLog(rank=self.rank, timeslice=self.timeslice,
+                       page_size=self.page_size, app_name=self.app_name)
+        out.records = [r for r in self.records if r.t_start >= t - 1e-9]
+        return out
+
+    def times(self) -> np.ndarray:
+        """Slice end times (s)."""
+        return np.array([r.t_end for r in self.records])
+
+    def iws_bytes(self) -> np.ndarray:
+        """Per-slice IWS sizes in bytes."""
+        return np.array([r.iws_bytes for r in self.records], dtype=np.int64)
+
+    def iws_mb(self) -> np.ndarray:
+        """Per-slice IWS sizes in MB."""
+        return self.iws_bytes() / MiB
+
+    def ib_mbps(self) -> np.ndarray:
+        """Per-slice incremental bandwidth (MB/s)."""
+        durations = np.array([r.duration for r in self.records])
+        return np.divide(self.iws_mb(), durations,
+                         out=np.zeros(len(self.records)),
+                         where=durations > 0)
+
+    def received_mb(self) -> np.ndarray:
+        """Per-slice data received in MB (Fig 1b's series)."""
+        return np.array([r.received_bytes for r in self.records]) / MiB
+
+    def footprint_mb(self) -> np.ndarray:
+        """Per-slice mapped data memory in MB."""
+        return np.array([r.footprint_bytes for r in self.records]) / MiB
+
+    def faults(self) -> np.ndarray:
+        """Per-slice protection-fault counts."""
+        return np.array([r.faults for r in self.records], dtype=np.int64)
+
+    def overhead_time(self) -> np.ndarray:
+        """Per-slice instrumentation CPU time."""
+        return np.array([r.overhead_time for r in self.records])
+
+    def total_overhead(self) -> float:
+        """Instrumentation CPU time summed over the run."""
+        return float(sum(r.overhead_time for r in self.records))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceLog {self.app_name!r} rank={self.rank} "
+                f"timeslice={self.timeslice} slices={len(self.records)}>")

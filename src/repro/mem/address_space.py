@@ -1,0 +1,419 @@
+"""The simulated process address space.
+
+Reproduces the UNIX memory model of the paper's section 4.1: text, data,
+BSS, a heap grown by ``brk``/``sbrk``, a stack, and mmap'ed regions
+created/destroyed at run time.  CPU stores go through the protection
+check (faulting path); NIC DMA stores bypass it.
+
+The address space knows nothing about time -- it reports faults to
+listeners (the dirty-page tracker) which do the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import MappingError, SegmentationFault
+from repro.mem.layout import Layout
+from repro.mem.segment import Segment, SegmentKind
+from repro.units import page_align_up
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of one store operation."""
+
+    pages: int     #: pages covered by the store
+    faults: int    #: write-protection faults taken (CPU stores only)
+    missed: int    #: pages modified without being recorded (DMA stores only)
+
+
+#: fault listener: ``(segment, lo_page, hi_page, nfaults) -> None``
+FaultListener = Callable[[Segment, int, int, int], None]
+#: mapping listener: ``(segment) -> None``
+MapListener = Callable[[Segment], None]
+
+
+class AddressSpace:
+    """Segments + page tables + the write paths.
+
+    Parameters
+    ----------
+    layout:
+        Virtual-address layout (page size lives here).
+    data_size, bss_size:
+        Sizes of the initialized and uninitialized data segments, rounded
+        up to whole pages (set at "compile time" by the workload).
+    stack_size:
+        Initial stack mapping.  The paper measured stacks under 42 KB.
+    """
+
+    def __init__(self, layout: Optional[Layout] = None, *,
+                 data_size: int = 0, bss_size: int = 0,
+                 stack_size: int = 64 * 1024,
+                 store_contents: bool = False):
+        self.layout = layout or Layout()
+        ps = self.layout.page_size
+        self._version = 0
+        #: the bytes backend: data-memory segments carry real byte
+        #: payloads (checkpoints then capture/restore actual content).
+        #: Off by default -- the paper's metrics need only page versions,
+        #: and signatures keep full-scale footprints cheap.
+        self.store_contents = store_contents
+
+        self.text = Segment(SegmentKind.TEXT, self.layout.text_base,
+                            page_align_up(self.layout.text_size, ps), ps)
+        self.data = Segment(SegmentKind.DATA, self.layout.data_base,
+                            page_align_up(data_size, ps), ps,
+                            store_contents=store_contents)
+        self.bss = Segment(SegmentKind.BSS, self.data.end,
+                           page_align_up(bss_size, ps), ps,
+                           store_contents=store_contents)
+        # the heap starts empty, immediately after the BSS
+        self.heap = Segment(SegmentKind.HEAP, self.bss.end, 0, ps,
+                            store_contents=store_contents)
+        stack_size = page_align_up(stack_size, ps)
+        if stack_size > self.layout.max_stack:
+            raise MappingError(
+                f"stack size {stack_size} exceeds limit {self.layout.max_stack}")
+        self.stack = Segment(SegmentKind.STACK, self.layout.stack_top - stack_size,
+                             stack_size, ps)
+
+        #: mmap'ed segments, keyed by base address
+        self._mmaps: dict[int, Segment] = {}
+        self._mmap_cursor = self.layout.mmap_base
+
+        self.fault_listeners: list[FaultListener] = []
+        self.map_listeners: list[MapListener] = []
+        self.unmap_listeners: list[MapListener] = []
+        #: deepest stack page ever written (index within the stack
+        #: segment); None until the first stack write.  The stack grows
+        #: down from stack_top, so depth = (npages - lowest index) pages.
+        self._stack_low_page: Optional[int] = None
+        #: called with (old_npages, new_npages) on every brk/sbrk; the
+        #: incremental checkpointer uses it to notice shrink-then-regrow
+        self.heap_resize_listeners: list[Callable[[int, int], None]] = []
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.layout.page_size
+
+    @property
+    def brk(self) -> int:
+        """Current program break (top of the heap)."""
+        return self.heap.end
+
+    def segments(self) -> Iterator[Segment]:
+        """All mapped segments, text and stack included."""
+        yield self.text
+        yield self.data
+        yield self.bss
+        yield self.heap
+        yield self.stack
+        yield from self._mmaps.values()
+
+    def data_segments(self) -> Iterator[Segment]:
+        """The *data memory* of the paper: initialized data, BSS, heap,
+        and mmap'ed regions -- what gets protected and checkpointed."""
+        for seg in self.segments():
+            if seg.kind.is_data_memory:
+                yield seg
+
+    def mmap_segments(self) -> list[Segment]:
+        """The mmap'ed segments, ordered by base address."""
+        return [self._mmaps[b] for b in sorted(self._mmaps)]
+
+    def find_segment(self, addr: int) -> Optional[Segment]:
+        """The segment containing ``addr``, or None if unmapped."""
+        for seg in self.segments():
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def data_footprint(self) -> int:
+        """Bytes of mapped data memory (the paper's 'memory footprint')."""
+        return sum(seg.size for seg in self.data_segments())
+
+    # -- write paths ----------------------------------------------------------------
+
+    def _next_version(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _resolve(self, addr: int, size: int) -> Segment:
+        seg = self.find_segment(addr)
+        if seg is None:
+            raise SegmentationFault(addr)
+        if addr + size > seg.end:
+            raise SegmentationFault(seg.end, f"store of {size} bytes at "
+                                    f"{addr:#x} runs past segment {seg.name!r}")
+        return seg
+
+    def cpu_write(self, addr: int, size: int,
+                  data: Optional[bytes] = None) -> WriteResult:
+        """A CPU store to ``[addr, addr+size)``; takes the faulting path.
+
+        With the bytes backend, ``data`` (which must be exactly ``size``
+        bytes) is stored as the real content.
+        """
+        seg = self._resolve(addr, size)
+        lo, hi = seg.page_range(addr, size)
+        result = self.cpu_write_pages(seg, lo, hi)
+        self._store_bytes(seg, addr, size, data)
+        return result
+
+    def cpu_write_pages(self, seg: Segment, lo: int, hi: int) -> WriteResult:
+        """Fast path: CPU store covering pages ``[lo, hi)`` of ``seg``."""
+        faults = seg.pages.cpu_write(lo, hi, self._next_version())
+        if seg.kind is SegmentKind.STACK:
+            if self._stack_low_page is None or lo < self._stack_low_page:
+                self._stack_low_page = lo
+        if faults and self.fault_listeners:
+            for listener in self.fault_listeners:
+                listener(seg, lo, hi, faults)
+        return WriteResult(pages=hi - lo, faults=faults, missed=0)
+
+    @property
+    def stack_used_bytes(self) -> int:
+        """Stack high-water mark: bytes from the stack top down to the
+        deepest page ever written.  The paper's section 4.2 measured this
+        under 42 KB for all its applications -- the justification for
+        not write-protecting (or checkpoint-tracking) the stack."""
+        if self._stack_low_page is None:
+            return 0
+        return (self.stack.npages - self._stack_low_page) * self.page_size
+
+    def dma_write(self, addr: int, size: int,
+                  data: Optional[bytes] = None) -> WriteResult:
+        """A device store (NIC DMA): bypasses protection and dirty tracking."""
+        seg = self._resolve(addr, size)
+        lo, hi = seg.page_range(addr, size)
+        missed = seg.pages.dma_write(lo, hi, self._next_version())
+        self._store_bytes(seg, addr, size, data)
+        return WriteResult(pages=hi - lo, faults=0, missed=missed)
+
+    def _store_bytes(self, seg: Segment, addr: int, size: int,
+                     data: Optional[bytes]) -> None:
+        if data is None:
+            return
+        if len(data) != size:
+            raise MappingError(
+                f"data payload of {len(data)} bytes != store size {size}")
+        if seg.contents is None:
+            raise MappingError(
+                f"segment {seg.name!r} has no bytes backend "
+                "(construct the AddressSpace with store_contents=True)")
+        seg.write_bytes(addr, data)
+
+    def read(self, addr: int, size: int) -> None:
+        """A load; only checks the mapping (the paper tracks writes only)."""
+        self._resolve(addr, size)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Real content (bytes backend only)."""
+        seg = self._resolve(addr, size)
+        return seg.read_bytes(addr, size)
+
+    # -- heap (brk/sbrk) ----------------------------------------------------------------
+
+    def sbrk(self, delta: int) -> int:
+        """Grow (or shrink, ``delta < 0``) the heap; returns the *old* break.
+
+        Like the syscall, the break moves by whole pages here (the real
+        libc tracks sub-page breaks; the paper's tracker works at page
+        granularity so nothing is lost).
+        """
+        old = self.heap.end
+        new_size = self.heap.size + delta
+        if new_size < 0:
+            raise MappingError(f"sbrk({delta}) would shrink heap below zero")
+        new_size = page_align_up(new_size, self.page_size)
+        if self.heap.base + new_size > self.layout.heap_limit:
+            raise MappingError(f"sbrk({delta}) exceeds heap limit")
+        old_npages = self.heap.npages
+        self.heap.resize_pages(new_size // self.page_size)
+        for listener in self.heap_resize_listeners:
+            listener(old_npages, self.heap.npages)
+        return old
+
+    # -- mmap/munmap ----------------------------------------------------------------
+
+    def mmap(self, size: int, name: str = "") -> Segment:
+        """Map a new anonymous region of at least ``size`` bytes; returns
+        the new segment.  Listeners (the instrumentation library's mmap
+        interception) are notified."""
+        if size <= 0:
+            raise MappingError(f"mmap of non-positive size {size}")
+        size = page_align_up(size, self.page_size)
+        base = self._find_mmap_gap(size)
+        seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
+                      name=name or f"mmap@{base:#x}",
+                      store_contents=self.store_contents)
+        self._mmaps[base] = seg
+        for listener in self.map_listeners:
+            listener(seg)
+        return seg
+
+    def mmap_fixed(self, base: int, size: int, name: str = "") -> Segment:
+        """Map an anonymous region at exactly ``base`` (MAP_FIXED); used
+        by checkpoint restore to rebuild the original geometry."""
+        if size <= 0:
+            raise MappingError(f"mmap of non-positive size {size}")
+        if base % self.page_size:
+            raise MappingError(f"mmap base {base:#x} not page-aligned")
+        size = page_align_up(size, self.page_size)
+        if not (self.layout.mmap_base <= base
+                and base + size <= self.layout.mmap_limit):
+            raise MappingError(
+                f"fixed mapping [{base:#x}, {base + size:#x}) outside the "
+                "mmap area")
+        conflict = self._mmap_overlap(base, size)
+        if conflict is not None:
+            raise MappingError(
+                f"fixed mapping at {base:#x} overlaps {conflict!r}")
+        seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
+                      name=name or f"mmap@{base:#x}",
+                      store_contents=self.store_contents)
+        self._mmaps[base] = seg
+        for listener in self.map_listeners:
+            listener(seg)
+        return seg
+
+    def _find_mmap_gap(self, size: int) -> int:
+        """First-fit scan of the mmap area from the cursor, wrapping once."""
+        for start in (self._mmap_cursor, self.layout.mmap_base):
+            base = start
+            while base + size <= self.layout.mmap_limit:
+                conflict = self._mmap_overlap(base, size)
+                if conflict is None:
+                    self._mmap_cursor = base + size
+                    return base
+                base = conflict.end
+        raise MappingError(f"mmap area exhausted for request of {size} bytes")
+
+    def _mmap_overlap(self, base: int, size: int) -> Optional[Segment]:
+        for seg in self._mmaps.values():
+            if seg.overlaps(base, size):
+                return seg
+        return None
+
+    def munmap(self, addr: int, size: int) -> None:
+        """Unmap ``[addr, addr+size)``.
+
+        The range must lie entirely within a single mapped mmap segment
+        (partial unmaps split the segment, like the real syscall).
+        """
+        if size <= 0:
+            raise MappingError(f"munmap of non-positive size {size}")
+        if addr % self.page_size:
+            raise MappingError(f"munmap address {addr:#x} not page-aligned")
+        size = page_align_up(size, self.page_size)
+        seg = self._mmaps.get(addr)
+        if seg is None or addr + size > seg.end:
+            seg = next((s for s in self._mmaps.values()
+                        if s.base <= addr and addr + size <= s.end), None)
+        if seg is None:
+            raise MappingError(
+                f"munmap range [{addr:#x}, {addr + size:#x}) is not a mapped "
+                "sub-range of any mmap segment")
+        del self._mmaps[seg.base]
+        for listener in self.unmap_listeners:
+            listener(seg)
+
+        # keep the head and/or tail remainders mapped (with their page
+        # state intact -- partial munmap must not forget surviving content)
+        orig_base, orig_end = seg.base, seg.end
+        # snapshot the byte payload before any truncation mutates it
+        orig_contents = (bytes(seg.contents) if seg.contents is not None
+                         else None)
+        if addr > seg.base:
+            head_pages = (addr - seg.base) // self.page_size
+            mid_table = seg.pages.split(head_pages)  # seg keeps the head
+            if seg.contents is not None:
+                del seg.contents[head_pages * self.page_size:]
+            self._mmaps[seg.base] = seg
+        else:
+            mid_table = seg.pages
+        if addr + size < orig_end:
+            tail_base = addr + size
+            tail_table = mid_table.split(size // self.page_size)
+            tail = Segment(SegmentKind.MMAP, tail_base, orig_end - tail_base,
+                           self.page_size, name=f"{seg.name}+tail",
+                           store_contents=self.store_contents)
+            tail.pages = tail_table
+            if orig_contents is not None:
+                off = tail_base - orig_base
+                tail.contents = bytearray(
+                    orig_contents[off:off + (orig_end - tail_base)])
+            self._mmaps[tail_base] = tail
+            for listener in self.map_listeners:
+                listener(tail)
+
+    def unmap_segment(self, seg: Segment) -> None:
+        """Unmap a whole mmap segment by identity."""
+        self.munmap(seg.base, seg.size)
+
+    # -- protection / dirty state (tracker support) ----------------------------------
+
+    def protect_data(self) -> int:
+        """Write-protect all data-memory pages; returns pages protected."""
+        total = 0
+        for seg in self.data_segments():
+            seg.pages.protect_all()
+            total += seg.npages
+        return total
+
+    def unprotect_data(self) -> None:
+        """Drop write protection from every data-memory page."""
+        for seg in self.data_segments():
+            seg.pages.unprotect_all()
+
+    def reset_dirty(self) -> None:
+        """Clear the dirty bits of every data segment (alarm reset)."""
+        for seg in self.data_segments():
+            seg.pages.reset_dirty()
+
+    def dirty_pages(self) -> int:
+        """Dirty pages across currently mapped data segments -- the IWS in
+        pages.  Pages of segments unmapped since the last reset are gone
+        (the paper's memory-exclusion behaviour)."""
+        return sum(seg.pages.dirty_count() for seg in self.data_segments())
+
+    def dirty_bytes(self) -> int:
+        """The IWS in bytes (dirty pages times the page size)."""
+        return self.dirty_pages() * self.page_size
+
+    # -- state signatures (for checkpoint verification) --------------------------------
+
+    def state_signature(self) -> dict[tuple, tuple]:
+        """Snapshot of data-memory geometry and page versions.
+
+        Maps ``(kind, base) -> (size, versions)``.  The key is positional
+        rather than the segment id so a *restored* address space (whose
+        segments are new objects) compares equal to the original at
+        checkpoint time.  Equal signatures mean identical data memory.
+        """
+        return {
+            (seg.kind.value, seg.base): (seg.size, seg.pages.versions.copy())
+            for seg in self.data_segments()
+        }
+
+    @staticmethod
+    def signatures_equal(a: dict[tuple, tuple], b: dict[tuple, tuple]) -> bool:
+        if a.keys() != b.keys():
+            return False
+        for key, (size, versions) in a.items():
+            size2, versions2 = b[key]
+            if size != size2 or not np.array_equal(versions, versions2):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.units import fmt_bytes
+        return (f"<AddressSpace data={fmt_bytes(self.data_footprint())} "
+                f"mmaps={len(self._mmaps)} brk={self.brk:#x}>")

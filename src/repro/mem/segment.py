@@ -1,0 +1,177 @@
+"""Memory segments: contiguous page-aligned regions of the address space.
+
+The paper partitions a UNIX process's state into text, data (initialized
++ uninitialized/BSS), heap, stack, and mmap'ed memory.  The *data memory*
+-- everything except text and stack -- is what the instrumentation
+library protects and what dominates checkpoint size.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.mem.pagetable import PageTable
+from repro.units import is_power_of_two
+
+
+class SegmentKind(enum.Enum):
+    """What role a segment plays in the process image."""
+
+    TEXT = "text"
+    DATA = "data"        # initialized data
+    BSS = "bss"          # uninitialized data, zero-filled at load
+    HEAP = "heap"
+    STACK = "stack"
+    MMAP = "mmap"
+
+    @property
+    def is_data_memory(self) -> bool:
+        """True for the segments the paper checkpoints (section 4.1): the
+        data region -- initialized data, BSS, heap and mmap'ed memory."""
+        return self in (SegmentKind.DATA, SegmentKind.BSS,
+                        SegmentKind.HEAP, SegmentKind.MMAP)
+
+
+_segment_ids = itertools.count(1)
+
+
+class Segment:
+    """A page-aligned contiguous mapping with its own :class:`PageTable`.
+
+    ``base`` and ``size`` are bytes; ``size`` must be a whole number of
+    pages.  Segments carry a process-unique ``sid`` so checkpoints can
+    refer to them stably across growth and remapping.
+    """
+
+    __slots__ = ("sid", "kind", "base", "page_size", "pages", "name",
+                 "contents")
+
+    def __init__(self, kind: SegmentKind, base: int, size: int,
+                 page_size: int, name: str = "", sid: Optional[int] = None,
+                 store_contents: bool = False):
+        if not is_power_of_two(page_size):
+            raise MappingError(f"bad page size {page_size}")
+        if base % page_size:
+            raise MappingError(f"segment base {base:#x} not page-aligned")
+        if size < 0 or size % page_size:
+            raise MappingError(f"segment size {size} not a whole page count")
+        self.sid = next(_segment_ids) if sid is None else sid
+        self.kind = kind
+        self.base = base
+        self.page_size = page_size
+        self.pages = PageTable(size // page_size)
+        self.name = name or kind.value
+        #: actual byte payload (the bytes backend); None under the
+        #: default signature-only backend
+        self.contents: Optional[bytearray] = (
+            bytearray(size) if store_contents else None)
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current size in bytes."""
+        return self.pages.npages * self.page_size
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.base + self.size
+
+    @property
+    def npages(self) -> int:
+        return self.pages.npages
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` lies inside the mapping."""
+        return self.base <= addr < self.end
+
+    def overlaps(self, base: int, size: int) -> bool:
+        """True when ``[base, base+size)`` intersects this mapping."""
+        return base < self.end and self.base < base + size
+
+    def page_index(self, addr: int) -> int:
+        """Index (within this segment) of the page holding ``addr``."""
+        if not self.contains(addr):
+            raise MappingError(
+                f"address {addr:#x} outside segment {self.name!r} "
+                f"[{self.base:#x}, {self.end:#x})")
+        return (addr - self.base) // self.page_size
+
+    def page_range(self, addr: int, size: int) -> tuple[int, int]:
+        """Page index range ``[lo, hi)`` covering bytes ``[addr, addr+size)``."""
+        if size <= 0:
+            raise MappingError(f"non-positive access size {size}")
+        if not (self.base <= addr and addr + size <= self.end):
+            raise MappingError(
+                f"byte range [{addr:#x}, {addr + size:#x}) outside segment "
+                f"{self.name!r} [{self.base:#x}, {self.end:#x})")
+        lo = (addr - self.base) // self.page_size
+        hi = (addr + size - 1 - self.base) // self.page_size + 1
+        return lo, hi
+
+    # -- growth ---------------------------------------------------------------
+
+    def resize_pages(self, npages: int) -> None:
+        """Grow/shrink in place (heap via brk, stack growth).  New byte
+        content arrives zero-filled, like the kernel's fresh pages."""
+        self.pages.resize(npages)
+        if self.contents is not None:
+            new_size = npages * self.page_size
+            if new_size > len(self.contents):
+                self.contents.extend(bytes(new_size - len(self.contents)))
+            else:
+                del self.contents[new_size:]
+
+    # -- byte content (bytes backend only) -----------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Store real byte content (after the page-table write path has
+        run).  No-op request on the signature-only backend is an error --
+        callers should check ``contents is not None``."""
+        if self.contents is None:
+            raise MappingError(
+                f"segment {self.name!r} does not store byte contents")
+        lo, hi = self.page_range(addr, len(data))  # bounds check
+        offset = addr - self.base
+        self.contents[offset:offset + len(data)] = data
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read real content (bytes backend only)."""
+        if self.contents is None:
+            raise MappingError(
+                f"segment {self.name!r} does not store byte contents")
+        self.page_range(addr, size)  # bounds check
+        offset = addr - self.base
+        return bytes(self.contents[offset:offset + size])
+
+    def page_bytes(self, page_index: int) -> bytes:
+        """One whole page of content (checkpoint capture granularity)."""
+        if self.contents is None:
+            raise MappingError(
+                f"segment {self.name!r} does not store byte contents")
+        if not (0 <= page_index < self.npages):
+            raise MappingError(f"page {page_index} outside segment")
+        off = page_index * self.page_size
+        return bytes(self.contents[off:off + self.page_size])
+
+    def set_page_bytes(self, page_index: int, data: bytes) -> None:
+        """Overwrite one whole page of content (checkpoint restore)."""
+        if self.contents is None:
+            raise MappingError(
+                f"segment {self.name!r} does not store byte contents")
+        if len(data) != self.page_size:
+            raise MappingError(
+                f"page payload of {len(data)} bytes != page size "
+                f"{self.page_size}")
+        if not (0 <= page_index < self.npages):
+            raise MappingError(f"page {page_index} outside segment")
+        off = page_index * self.page_size
+        self.contents[off:off + self.page_size] = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Segment #{self.sid} {self.name!r} {self.kind.value} "
+                f"[{self.base:#x}, {self.end:#x}) {self.npages}p>")

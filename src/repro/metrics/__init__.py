@@ -1,0 +1,32 @@
+"""Analysis of instrumentation traces: the paper's metrics.
+
+- :mod:`~repro.metrics.bandwidth` -- Incremental Bandwidth statistics
+  (the average/maximum IB of Table 4 and the Fig 2/3 curves);
+- :mod:`~repro.metrics.period` -- automatic main-iteration detection by
+  autocorrelation of the IWS series (section 6.2's "can automatically be
+  identified at run time"), and the fraction-of-memory-overwritten
+  measurement of Table 3;
+- :mod:`~repro.metrics.bursts` -- processing/communication burst
+  segmentation of a timeslice series;
+- :mod:`~repro.metrics.stats` -- run-level summaries (multi-run
+  averaging with first-run omission, footprint statistics).
+"""
+
+from repro.metrics.bandwidth import IBStats, ib_stats, iws_ratio
+from repro.metrics.bursts import Burst, burst_duty_cycle, detect_bursts
+from repro.metrics.period import estimate_period, fraction_overwritten
+from repro.metrics.stats import FootprintStats, footprint_stats, mean_omitting_first
+
+__all__ = [
+    "Burst",
+    "FootprintStats",
+    "IBStats",
+    "burst_duty_cycle",
+    "detect_bursts",
+    "estimate_period",
+    "footprint_stats",
+    "fraction_overwritten",
+    "ib_stats",
+    "iws_ratio",
+    "mean_omitting_first",
+]

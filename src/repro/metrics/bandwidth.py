@@ -1,0 +1,67 @@
+"""Incremental Bandwidth statistics.
+
+The paper defines IB = IWS size / timeslice and reports, per application
+and timeslice, the *average* and the *maximum* over all timeslices of a
+run -- always excluding the data-initialization burst at the very start
+(section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.instrument.records import TraceLog
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class IBStats:
+    """IB summary of one run at one timeslice."""
+
+    timeslice: float
+    n_slices: int
+    avg_mbps: float
+    max_mbps: float
+    avg_iws_mb: float
+    max_iws_mb: float
+
+    def as_row(self) -> str:
+        """One printable statistics row."""
+        return (f"timeslice={self.timeslice:5.1f}s  avg={self.avg_mbps:7.1f} "
+                f"MB/s  max={self.max_mbps:7.1f} MB/s  ({self.n_slices} slices)")
+
+
+def ib_stats(log: TraceLog, skip_until: float = 0.0) -> IBStats:
+    """IB statistics over a trace, dropping slices that start before
+    ``skip_until`` (the initialization burst)."""
+    view = log.after(skip_until)
+    if len(view) == 0:
+        raise ConfigurationError(
+            f"no timeslices after t={skip_until} (run too short?)")
+    ib = view.ib_mbps()
+    iws = view.iws_mb()
+    return IBStats(
+        timeslice=log.timeslice,
+        n_slices=len(view),
+        avg_mbps=float(ib.mean()),
+        max_mbps=float(ib.max()),
+        avg_iws_mb=float(iws.mean()),
+        max_iws_mb=float(iws.max()),
+    )
+
+
+def iws_ratio(log: TraceLog, skip_until: float = 0.0) -> float:
+    """Average ratio of IWS size to memory-image size per timeslice --
+    the quantity Fig 4 plots against the timeslice length."""
+    view = log.after(skip_until)
+    if len(view) == 0:
+        raise ConfigurationError(f"no timeslices after t={skip_until}")
+    iws = view.iws_bytes().astype(float)
+    fp = np.array([r.footprint_bytes for r in view], dtype=float)
+    valid = fp > 0
+    if not valid.any():
+        raise ConfigurationError("footprint was never non-zero")
+    return float((iws[valid] / fp[valid]).mean())

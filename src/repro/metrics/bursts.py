@@ -1,0 +1,86 @@
+"""Burst detection: segmenting a timeslice series into bursts and gaps.
+
+The paper's Fig 1 shows processing bursts (IWS spikes) separated by
+quiet gaps with communication bursts between them.  A burst-aware
+checkpoint planner wants exactly this segmentation: checkpoints placed
+in the gaps interfere least (pages are not about to be rewritten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A maximal run of above-threshold samples ``[start, end)``."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def detect_bursts(values: np.ndarray, threshold_fraction: float = 0.2,
+                  min_gap: int = 1) -> list[Burst]:
+    """Samples above ``threshold_fraction * max(values)`` form bursts;
+    bursts separated by fewer than ``min_gap`` quiet samples merge.
+
+    Returns bursts in order; an all-quiet series yields none.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.ndim != 1:
+        raise ConfigurationError("burst detection expects a 1-D series")
+    if not (0 < threshold_fraction < 1):
+        raise ConfigurationError(
+            f"threshold fraction must be in (0, 1): {threshold_fraction}")
+    if min_gap < 1:
+        raise ConfigurationError(f"min_gap must be >= 1: {min_gap}")
+    if len(x) == 0 or x.max() <= 0:
+        return []
+    hot = x > threshold_fraction * x.max()
+    bursts: list[Burst] = []
+    start = None
+    for i, flag in enumerate(hot):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            bursts.append(Burst(start, i))
+            start = None
+    if start is not None:
+        bursts.append(Burst(start, len(x)))
+    # merge bursts separated by short gaps
+    merged: list[Burst] = []
+    for b in bursts:
+        if merged and b.start - merged[-1].end < min_gap:
+            merged[-1] = Burst(merged[-1].start, b.end)
+        else:
+            merged.append(b)
+    return merged
+
+
+def burst_duty_cycle(values: np.ndarray,
+                     threshold_fraction: float = 0.2) -> float:
+    """Fraction of samples inside bursts (0 if no bursts)."""
+    x = np.asarray(values, dtype=float)
+    if len(x) == 0:
+        raise ConfigurationError("empty series")
+    bursts = detect_bursts(x, threshold_fraction)
+    return sum(b.length for b in bursts) / len(x)
+
+
+def quiet_indices(values: np.ndarray,
+                  threshold_fraction: float = 0.2) -> np.ndarray:
+    """Indices of samples outside every burst -- candidate checkpoint
+    placements for the burst-aware planner."""
+    x = np.asarray(values, dtype=float)
+    mask = np.ones(len(x), dtype=bool)
+    for b in detect_bursts(x, threshold_fraction):
+        mask[b.start:b.end] = False
+    return np.flatnonzero(mask)

@@ -1,0 +1,72 @@
+"""Main-iteration period estimation and overwrite fraction.
+
+Section 6.2 observes that the bulk-synchronous rhythm of scientific
+codes "can automatically be identified at run time"; this module is that
+detector.  The IWS series is periodic with the main iteration, so its
+autocorrelation peaks at the iteration lag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.instrument.records import TraceLog
+
+
+def estimate_period(values: np.ndarray, dt: float,
+                    min_lag: int = 1, max_lag: Optional[int] = None) -> float:
+    """Dominant period of a uniformly sampled series, in seconds.
+
+    Detrends the series, computes the (biased) autocorrelation, and
+    returns the lag of its highest *local maximum* -- a plain argmax
+    would be fooled by the monotone decay near lag 0.
+    """
+    x = np.asarray(values, dtype=float)
+    if len(x) < 4:
+        raise ConfigurationError(
+            f"need at least 4 samples to estimate a period, got {len(x)}")
+    if dt <= 0:
+        raise ConfigurationError(f"sample spacing must be positive: {dt}")
+    x = x - x.mean()
+    if not x.any():
+        raise ConfigurationError("series is constant; no period to find")
+    n = len(x)
+    max_lag = max_lag or (n - 2)
+    max_lag = min(max_lag, n - 2)
+    corr = np.correlate(x, x, mode="full")[n - 1:]
+    corr = corr / corr[0]
+
+    best_lag, best_val = None, -np.inf
+    for lag in range(max(min_lag, 1), max_lag + 1):
+        left = corr[lag - 1]
+        right = corr[lag + 1] if lag + 1 <= n - 1 else -np.inf
+        if corr[lag] >= left and corr[lag] >= right and corr[lag] > best_val:
+            best_lag, best_val = lag, corr[lag]
+    if best_lag is None:
+        raise ConfigurationError("no periodic structure found")
+    return best_lag * dt
+
+
+def estimate_period_from_log(log: TraceLog, skip_until: float = 0.0) -> float:
+    """Iteration period from a trace's IWS series."""
+    view = log.after(skip_until)
+    return estimate_period(view.iws_bytes(), log.timeslice)
+
+
+def fraction_overwritten(log: TraceLog, skip_until: float = 0.0) -> float:
+    """Fraction of the memory image overwritten per main iteration
+    (Table 3), measured the natural way: run the tracker with the
+    timeslice equal to the iteration period so each slice's IWS is the
+    per-iteration working set, then average IWS/footprint."""
+    view = log.after(skip_until)
+    if len(view) == 0:
+        raise ConfigurationError(f"no timeslices after t={skip_until}")
+    iws = view.iws_bytes().astype(float)
+    fp = np.array([r.footprint_bytes for r in view], dtype=float)
+    valid = fp > 0
+    if not valid.any():
+        raise ConfigurationError("footprint was never non-zero")
+    return float((iws[valid] / fp[valid]).mean())

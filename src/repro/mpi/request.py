@@ -1,0 +1,51 @@
+"""Nonblocking-communication requests (the mpi4py ``isend``/``irecv``
+surface).
+
+A :class:`Request` wraps the completion future of a nonblocking
+operation.  Rank bodies either ``yield req.wait()`` (block until
+complete) or poll with :meth:`test` between other work -- the
+computation/communication overlap idiom of the bulk-synchronous codes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import MPIError
+from repro.sim import Engine, Future, all_of
+
+
+class Request:
+    """Handle for one nonblocking send or receive."""
+
+    __slots__ = ("future", "kind")
+
+    def __init__(self, future: Future, kind: str):
+        self.future = future
+        self.kind = kind
+
+    def test(self) -> bool:
+        """True once the operation has completed (never blocks)."""
+        return self.future.resolved
+
+    def wait(self) -> Future:
+        """The future to ``yield`` from a rank body; its value is the
+        delivered :class:`~repro.net.Message` (receives) or None (sends)."""
+        return self.future
+
+    @property
+    def value(self) -> Any:
+        """The completion value; raises if not yet complete."""
+        if not self.future.resolved:
+            raise MPIError(f"{self.kind} request not yet complete")
+        return self.future.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self.future.resolved else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+def wait_all(engine: Engine, requests: list[Request]) -> Future:
+    """A future that resolves when every request has completed (the
+    ``MPI_Waitall`` pattern closing a halo exchange)."""
+    return all_of(engine, [r.future for r in requests], label="waitall")

@@ -1,0 +1,139 @@
+"""Job construction and launch: ranks, processes, NICs, contexts.
+
+An :class:`MPIJob` assembles everything one parallel program needs on
+the simulated cluster -- a network with a node-aware topology (two ranks
+per node on the paper's dual-Itanium rx2600s), one UNIX process and NIC
+per rank -- and launches rank bodies as simulation processes.
+
+The instrumentation library attaches itself via ``init_hooks``, which
+run when each rank body starts: that is the ``MPI_Init`` interception
+the paper describes (section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.mem import Layout
+from repro.mpi.communicator import RankComm, World
+from repro.net import LinkSpec, Network, NIC, QSNET2, Topology
+from repro.proc import Process
+from repro.sim import Engine, SimProcess
+
+
+class RankTopology(Topology):
+    """Maps ranks onto nodes (``procs_per_node`` ranks each) and measures
+    hops between the *nodes*; co-located ranks are zero hops apart."""
+
+    def __init__(self, nranks: int, procs_per_node: int = 2,
+                 shape: str = "fat-tree", radix: int = 4):
+        if procs_per_node < 1:
+            raise ConfigurationError(
+                f"procs_per_node must be >= 1, got {procs_per_node}")
+        self.procs_per_node = procs_per_node
+        nnodes = -(-nranks // procs_per_node)
+        super().__init__(nnodes, shape=shape, radix=radix)  # type: ignore[arg-type]
+        self.nranks = nranks
+
+    def hops(self, a: int, b: int) -> int:
+        node_a, node_b = a // self.procs_per_node, b // self.procs_per_node
+        if node_a == node_b:
+            return 0
+        return super().hops(node_a, node_b)
+
+
+@dataclass
+class RankContext:
+    """Everything a rank body needs, passed to the body factory."""
+
+    rank: int
+    size: int
+    engine: Engine
+    process: Process
+    comm: RankComm
+    node: int
+
+    @property
+    def memory(self):
+        return self.process.memory
+
+
+class MPIJob:
+    """A parallel job on the simulated cluster."""
+
+    def __init__(self, engine: Engine, nranks: int, *,
+                 link: LinkSpec = QSNET2,
+                 procs_per_node: int = 2,
+                 layout: Optional[Layout] = None,
+                 process_factory: Optional[Callable[[int], Process]] = None,
+                 name: str = "job"):
+        if nranks < 1:
+            raise ConfigurationError(f"need at least one rank, got {nranks}")
+        self.engine = engine
+        self.nranks = nranks
+        self.name = name
+        self.procs_per_node = procs_per_node
+        topo = RankTopology(nranks, procs_per_node=procs_per_node)
+        self.network = Network(engine, nranks, spec=link, topology=topo)
+        if process_factory is None:
+            process_factory = lambda rank: Process(
+                engine, name=f"{name}.r{rank}", layout=layout)
+        self.processes = [process_factory(r) for r in range(nranks)]
+        self.nics = [NIC(r, self.network, self.processes[r])
+                     for r in range(nranks)]
+        self.world = World(engine, self.network, self.nics)
+        self.contexts = [RankContext(rank=r, size=nranks, engine=engine,
+                                     process=self.processes[r],
+                                     comm=self.world.comm(r),
+                                     node=r // procs_per_node)
+                         for r in range(nranks)]
+        #: hooks run at each rank body's start (MPI_Init interception)
+        self.init_hooks: list[Callable[[RankContext], None]] = []
+        #: hooks run when a rank body completes or is killed
+        #: (MPI_Finalize interception) -- the instrumentation library
+        #: uses this to disarm its alarm so the simulation can drain
+        self.fini_hooks: list[Callable[[RankContext], None]] = []
+        self.sim_processes: list[SimProcess] = []
+
+    def launch(self, body_factory: Callable[[RankContext], Generator],
+               ranks: Optional[list[int]] = None) -> list[SimProcess]:
+        """Start one simulation process per rank running ``body_factory``.
+
+        ``ranks`` restricts the launch (used when restarting a subset
+        after a failure).
+        """
+        launched = []
+        for ctx in self.contexts:
+            if ranks is not None and ctx.rank not in ranks:
+                continue
+            sp = SimProcess(self.engine, self._wrap(ctx, body_factory),
+                            name=f"{self.name}.rank{ctx.rank}")
+            launched.append(sp)
+        self.sim_processes.extend(launched)
+        return launched
+
+    def _wrap(self, ctx: RankContext,
+              body_factory: Callable[[RankContext], Generator]) -> Generator:
+        for hook in self.init_hooks:
+            hook(ctx)
+        try:
+            yield from body_factory(ctx)
+        finally:
+            # runs on normal completion *and* on kill (failure injection)
+            for hook in self.fini_hooks:
+                hook(ctx)
+
+    def fail_rank(self, rank: int) -> None:
+        """Failure injection: kill the rank's process and detach its NIC
+        (in-flight messages to it are lost)."""
+        if not (0 <= rank < self.nranks):
+            raise ConfigurationError(f"rank {rank} outside job of {self.nranks}")
+        for sp in self.sim_processes:
+            if sp.name == f"{self.name}.rank{rank}":
+                sp.kill()
+        self.nics[rank].detach()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MPIJob {self.name!r} nranks={self.nranks}>"

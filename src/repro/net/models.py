@@ -1,0 +1,53 @@
+"""Link performance specifications.
+
+Bandwidths are the figures the paper quotes (section 3 and 6.6): the
+Elan4 QsNet II delivers a peak of 900 MB/s, and 10 Gb/s InfiniBand was
+the anticipated next step.  Latencies are representative of the era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link model: ``latency + size / bandwidth``."""
+
+    name: str
+    bandwidth: float        #: bytes per second
+    latency: float          #: seconds per message (one hop)
+    per_hop_latency: float = 0.0  #: extra seconds per additional hop
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {self.bandwidth}")
+        if self.latency < 0 or self.per_hop_latency < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def transfer_time(self, nbytes: int, hops: int = 1) -> float:
+        """Time to move ``nbytes`` across ``hops`` switch hops."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size {nbytes}")
+        extra = self.per_hop_latency * max(0, hops - 1)
+        return self.latency + extra + nbytes / self.bandwidth
+
+
+#: Quadrics QsNet II (Elan4): 900 MB/s peak, ~1.5 us MPI latency.
+QSNET2 = LinkSpec("QsNet II", bandwidth=900.0 * MiB, latency=1.5e-6,
+                  per_hop_latency=0.2e-6)
+
+#: Gigabit Ethernet of the era.
+ETHERNET_1G = LinkSpec("1G Ethernet", bandwidth=110.0 * MiB, latency=50e-6,
+                       per_hop_latency=5e-6)
+
+#: Switched 100 Mb/s Ethernet (the Diskless-checkpointing testbed class).
+ETHERNET_100M = LinkSpec("100M Ethernet", bandwidth=11.0 * MiB, latency=100e-6,
+                         per_hop_latency=10e-6)
+
+#: The 10 Gb/s InfiniBand the paper's section 6.6 anticipates for 2005.
+INFINIBAND_10G = LinkSpec("InfiniBand 10G", bandwidth=1180.0 * MiB,
+                          latency=4e-6, per_hop_latency=0.1e-6)

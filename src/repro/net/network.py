@@ -1,0 +1,107 @@
+"""Message transport over the simulated interconnect.
+
+Timing model per message (cut-through flavoured):
+
+- the sender's NIC injects serially: a message occupies the *transmit
+  link* for ``size / bandwidth`` starting when the link is free;
+- the wire adds ``latency + per_hop_latency * (hops - 1)`` to the first
+  byte;
+- the message then occupies the *receive link* for ``size / bandwidth``
+  starting when the first byte arrives **and** the receiver's link is
+  free -- so concurrent senders to one destination queue up (incast
+  contention, which matters for FT's all-to-all transposes).
+
+An uncontended message completes at ``inject + size/bandwidth + wire``
+(transmit and receive occupation overlap); there is no global-fabric
+contention model beyond the two endpoints -- adequate for the paper's
+bulk-synchronous codes whose communication happens in sparse bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+from repro.net.models import LinkSpec, QSNET2
+from repro.net.topology import Topology
+from repro.sim import Engine
+
+
+class Network:
+    """Delivers :class:`Message`s between nodes with realistic timing."""
+
+    def __init__(self, engine: Engine, nnodes: int,
+                 spec: LinkSpec = QSNET2,
+                 topology: Optional[Topology] = None):
+        if nnodes < 1:
+            raise NetworkError(f"need at least one node, got {nnodes}")
+        self.engine = engine
+        self.nnodes = nnodes
+        self.spec = spec
+        self.topology = topology or Topology(nnodes)
+        #: time each sender's NIC becomes free to inject the next message
+        self._tx_free: list[float] = [0.0] * nnodes
+        #: time each receiver's link becomes free (incast queueing)
+        self._rx_free: list[float] = [0.0] * nnodes
+        #: delivery callbacks per destination node
+        self._sinks: list[Optional[Callable[[Message], None]]] = [None] * nnodes
+        # statistics
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    def attach(self, node: int, sink: Callable[[Message], None]) -> None:
+        """Register the delivery callback (the NIC) for ``node``."""
+        self._check_node(node)
+        self._sinks[node] = sink
+
+    def send(self, msg: Message) -> float:
+        """Inject ``msg``; returns its arrival time at the destination."""
+        self._check_node(msg.src)
+        self._check_node(msg.dst)
+        # note: a missing sink at the destination is tolerated -- the
+        # message is dropped at delivery time, which is how sends to a
+        # failed node behave under failure injection.
+        now = self.engine.now
+        msg.send_time = now
+        if msg.src == msg.dst:
+            # loopback: no wire, just a copy at memory speed (the
+            # bandwidth term only); copies still serialize at the node
+            start = max(now, self._tx_free[msg.src])
+            arrival = start + msg.size / self.spec.bandwidth
+            self._tx_free[msg.src] = arrival
+        else:
+            serialize = msg.size / self.spec.bandwidth
+            inject_at = max(now, self._tx_free[msg.src])
+            self._tx_free[msg.src] = inject_at + serialize
+            hops = self.topology.hops(msg.src, msg.dst)
+            first_byte = (inject_at + self.spec.latency
+                          + self.spec.per_hop_latency * max(0, hops - 1))
+            start_rx = max(first_byte, self._rx_free[msg.dst])
+            arrival = start_rx + serialize
+            self._rx_free[msg.dst] = arrival
+        msg.arrival_time = arrival
+        self.engine.schedule_at(arrival, self._deliver, msg)
+        return arrival
+
+    def _deliver(self, msg: Message) -> None:
+        sink = self._sinks[msg.dst]
+        if sink is None:  # detached mid-flight (node failure)
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += msg.size
+        sink(msg)
+
+    def detach(self, node: int) -> None:
+        """Remove a node's NIC (failure injection): in-flight messages to
+        it are dropped on arrival."""
+        self._check_node(node)
+        self._sinks[node] = None
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.nnodes):
+            raise NetworkError(f"node {node} outside network of {self.nnodes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Network {self.spec.name!r} nnodes={self.nnodes} "
+                f"delivered={self.messages_delivered}>")

@@ -1,0 +1,15 @@
+"""Simulated UNIX process layer.
+
+Glues an :class:`~repro.mem.AddressSpace` to the simulation engine and
+exposes the POSIX-flavoured surface the paper's instrumentation library
+uses: ``sbrk``/``brk``, ``mmap``/``munmap``, ``mprotect``, ``sigaction``
+(SIGSEGV and SIGALRM) and ``setitimer``; plus a libc-style heap allocator
+with the two allocation personalities the paper observes (Intel Fortran77
+puts dynamic memory on the heap; Fortran90 uses heap *and* mmap).
+"""
+
+from repro.proc.signals import Signal
+from repro.proc.process import Process
+from repro.proc.allocator import Allocator, Block
+
+__all__ = ["Allocator", "Block", "Process", "Signal"]

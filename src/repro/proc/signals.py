@@ -1,0 +1,17 @@
+"""The two signals the paper's instrumentation library handles.
+
+SIGSEGV is delivered *synchronously* when a store hits a write-protected
+page; the handler records the page as dirty and unprotects it.  SIGALRM
+is delivered by the interval timer at each checkpoint-timeslice boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Signal(enum.IntEnum):
+    """Signal numbers (Linux/ia64 values, for flavour)."""
+
+    SIGSEGV = 11
+    SIGALRM = 14

@@ -1,0 +1,14 @@
+"""Report generation: the whole reproduction as one artifact.
+
+:func:`~repro.report.generator.generate_report` runs every experiment
+and writes a self-contained ``report.md`` plus TSV data series for each
+figure, so the paper-versus-measured comparison can be regenerated (or
+plotted with any tool) in one command::
+
+    python -m repro report --out report/
+"""
+
+from repro.report.render import ascii_series, sparkline, tsv_series
+from repro.report.generator import generate_report
+
+__all__ = ["ascii_series", "generate_report", "sparkline", "tsv_series"]

@@ -1,0 +1,68 @@
+"""Text rendering helpers for series data: sparklines, block plots, TSV."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _downsample(values: Sequence[float], width: int) -> list[float]:
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    values = list(values)
+    if not values:
+        return []
+    step = max(1, len(values) // width)
+    return [max(values[i:i + step]) for i in range(0, len(values), step)]
+
+
+def sparkline(values: Sequence[float], width: int = 100) -> str:
+    """A one-line density plot (max-pooled to ``width`` columns)."""
+    sampled = _downsample(values, width)
+    if not sampled:
+        return ""
+    top = max(sampled)
+    if top <= 0:
+        return " " * len(sampled)
+    return "".join(
+        _BLOCKS[min(int(v / top * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1)]
+        for v in sampled)
+
+
+def ascii_series(values: Sequence[float], width: int = 72, height: int = 8,
+                 label: str = "") -> str:
+    """A small multi-line block plot."""
+    sampled = _downsample(values, width)
+    if not sampled:
+        return f"{label} (empty)"
+    top = max(sampled) or 1.0
+    lines = [f"{label} (peak {top:.1f})"] if label else []
+    for row in range(height, 0, -1):
+        lines.append("|" + "".join(
+            "#" if v / top >= row / height else " " for v in sampled))
+    lines.append("+" + "-" * len(sampled))
+    return "\n".join(lines)
+
+
+def tsv_series(columns: dict[str, Iterable]) -> str:
+    """Column data as tab-separated text (header + rows)."""
+    if not columns:
+        raise ConfigurationError("no columns")
+    names = list(columns)
+    cols = [list(columns[n]) for n in names]
+    length = len(cols[0])
+    if any(len(c) != length for c in cols):
+        raise ConfigurationError("column length mismatch")
+    lines = ["\t".join(names)]
+    for i in range(length):
+        lines.append("\t".join(_fmt(c[i]) for c in cols))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,27 @@
+"""Stable-storage substrate: disks, arrays, and the checkpoint store.
+
+The paper's feasibility argument compares the incremental bandwidth
+against two sinks: the interconnect (QsNet II, 900 MB/s) and secondary
+storage (Ultra320 SCSI, 320 MB/s).  This package models the storage
+side: a single disk with a serialized write queue, RAID-0 style arrays
+that aggregate bandwidth, and a logical checkpoint store holding
+versioned per-rank checkpoint chains.
+"""
+
+from repro.storage.models import DiskSpec, SCSI_ULTRA320, IDE_ATA100, RAMDISK
+from repro.storage.disk import Disk
+from repro.storage.diskless import DisklessSink
+from repro.storage.raid import StorageArray
+from repro.storage.store import CheckpointStore, StoredObject
+
+__all__ = [
+    "CheckpointStore",
+    "Disk",
+    "DiskSpec",
+    "DisklessSink",
+    "IDE_ATA100",
+    "RAMDISK",
+    "SCSI_ULTRA320",
+    "StorageArray",
+    "StoredObject",
+]

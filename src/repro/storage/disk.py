@@ -1,0 +1,57 @@
+"""A single disk with a serialized write queue."""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.sim import Engine, Future
+from repro.storage.models import DiskSpec, SCSI_ULTRA320
+
+
+class Disk:
+    """Sequential-write disk: operations queue and complete in order.
+
+    ``write`` returns a :class:`~repro.sim.Future` resolving (with the
+    completion time) when the data is on stable storage; simulated
+    processes can ``yield`` it to block for durability.
+    """
+
+    def __init__(self, engine: Engine, spec: DiskSpec = SCSI_ULTRA320,
+                 name: str = "disk"):
+        self.engine = engine
+        self.spec = spec
+        self.name = name
+        self._free_at = 0.0
+        self.bytes_written = 0
+        self.ops = 0
+        self.busy_time = 0.0
+
+    def write(self, nbytes: int) -> Future:
+        """Enqueue a write of ``nbytes``; returns a completion future."""
+        if nbytes < 0:
+            raise StorageError(f"negative write size {nbytes}")
+        now = self.engine.now
+        start = max(now, self._free_at)
+        duration = self.spec.write_time(nbytes)
+        done_at = start + duration
+        self._free_at = done_at
+        self.bytes_written += nbytes
+        self.ops += 1
+        self.busy_time += duration
+        fut = Future(self.engine, label=f"{self.name}.write#{self.ops}")
+        self.engine.schedule_at(done_at, fut.resolve, done_at)
+        return fut
+
+    def queue_delay(self) -> float:
+        """How long a write issued now would wait before starting."""
+        return max(0.0, self._free_at - self.engine.now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the disk spent busy."""
+        if elapsed <= 0:
+            raise StorageError(f"non-positive elapsed time {elapsed}")
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.units import fmt_bytes
+        return (f"<Disk {self.name!r} {self.spec.name} "
+                f"written={fmt_bytes(self.bytes_written)} ops={self.ops}>")

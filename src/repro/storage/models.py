@@ -1,0 +1,41 @@
+"""Disk performance specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A streaming-write disk model: ``seek + size / bandwidth``."""
+
+    name: str
+    bandwidth: float      #: sustained sequential bytes per second
+    seek_latency: float   #: per-operation positioning cost, seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {self.bandwidth}")
+        if self.seek_latency < 0:
+            raise ConfigurationError(f"negative seek latency: {self.seek_latency}")
+
+    def write_time(self, nbytes: int) -> float:
+        """Time for one sequential write of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative write size {nbytes}")
+        return self.seek_latency + nbytes / self.bandwidth
+
+
+#: The Ultra320 SCSI disk the paper quotes (Seagate Cheetah class): a
+#: 320 MB/s bus; checkpoint streams are large sequential writes.
+SCSI_ULTRA320 = DiskSpec("Ultra320 SCSI", bandwidth=320.0 * MiB,
+                         seek_latency=4.7e-3)
+
+#: Commodity IDE of the era, for contrast in ablations.
+IDE_ATA100 = DiskSpec("ATA/100 IDE", bandwidth=55.0 * MiB, seek_latency=8.9e-3)
+
+#: Memory-speed sink (diskless checkpointing to a peer's RAM).
+RAMDISK = DiskSpec("ramdisk", bandwidth=2.0 * GiB, seek_latency=0.0)

@@ -1,0 +1,72 @@
+"""RAID-0 style striping across disks: aggregate checkpoint bandwidth.
+
+The paper argues secondary-storage arrays provide the bandwidth headroom
+for frequent incremental checkpoints; a stripe set of N disks sinks
+roughly N times the single-disk rate for the large sequential writes a
+checkpoint produces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.sim import Engine, Future, all_of
+from repro.storage.disk import Disk
+from repro.storage.models import DiskSpec, SCSI_ULTRA320
+
+
+class StorageArray:
+    """Stripes writes round-robin across member disks.
+
+    A write of B bytes with stripe unit u is split into ceil(B/u) chunks
+    dealt to the disks in order; the write completes when every chunk is
+    durable.
+    """
+
+    def __init__(self, engine: Engine, ndisks: int,
+                 spec: DiskSpec = SCSI_ULTRA320,
+                 stripe_unit: int = 1 << 20, name: str = "array"):
+        if ndisks < 1:
+            raise StorageError(f"array needs at least one disk, got {ndisks}")
+        if stripe_unit <= 0:
+            raise StorageError(f"stripe unit must be positive, got {stripe_unit}")
+        self.engine = engine
+        self.stripe_unit = stripe_unit
+        self.name = name
+        self.disks = [Disk(engine, spec, name=f"{name}.d{i}")
+                      for i in range(ndisks)]
+        self._next = 0
+
+    @property
+    def ndisks(self) -> int:
+        return len(self.disks)
+
+    def aggregate_bandwidth(self) -> float:
+        """Peak sequential bandwidth of the stripe set, B/s."""
+        return sum(d.spec.bandwidth for d in self.disks)
+
+    def write(self, nbytes: int) -> Future:
+        """Striped write; future resolves when all chunks are durable."""
+        if nbytes < 0:
+            raise StorageError(f"negative write size {nbytes}")
+        if nbytes == 0:
+            fut = Future(self.engine, label=f"{self.name}.write0")
+            fut.resolve(self.engine.now)
+            return fut
+        chunk_futures = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, self.stripe_unit)
+            chunk_futures.append(self.disks[self._next].write(chunk))
+            self._next = (self._next + 1) % len(self.disks)
+            remaining -= chunk
+        done = all_of(self.engine, chunk_futures, label=f"{self.name}.write")
+        out = Future(self.engine, label=f"{self.name}.write.done")
+        done.add_callback(lambda times: out.resolve(max(times)))
+        return out
+
+    def bytes_written(self) -> int:
+        """Total bytes written across the stripe set."""
+        return sum(d.bytes_written for d in self.disks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StorageArray {self.name!r} ndisks={self.ndisks}>"

@@ -1,0 +1,144 @@
+"""The logical checkpoint store: versioned per-rank chains plus global
+commit markers for coordinated checkpoints.
+
+A *chain* for one rank is a full checkpoint followed by incremental
+deltas.  A *global* checkpoint with sequence number ``seq`` is
+recoverable only once every rank's piece for ``seq`` is durable, at
+which point the coordinator marks it committed; recovery always rolls
+back to the latest committed sequence (never a half-written one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One stored checkpoint piece."""
+
+    rank: int
+    seq: int
+    kind: str           #: "full" or "incremental"
+    nbytes: int
+    payload: Any = field(compare=False, default=None)
+    stored_at: float = field(compare=False, default=0.0)
+
+
+class CheckpointStore:
+    """In-memory model of stable storage for checkpoint chains."""
+
+    KINDS = ("full", "incremental")
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise StorageError(f"need at least one rank, got {nranks}")
+        self.nranks = nranks
+        self._chains: dict[int, list[StoredObject]] = {r: [] for r in range(nranks)}
+        self._committed: list[int] = []
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, rank: int, seq: int, kind: str, nbytes: int,
+            payload: Any = None, stored_at: float = 0.0) -> StoredObject:
+        """Store one rank's piece of global checkpoint ``seq``."""
+        self._check_rank(rank)
+        if kind not in self.KINDS:
+            raise StorageError(f"unknown checkpoint kind {kind!r}")
+        if nbytes < 0:
+            raise StorageError(f"negative checkpoint size {nbytes}")
+        chain = self._chains[rank]
+        if chain and seq <= chain[-1].seq:
+            raise StorageError(
+                f"non-monotonic sequence {seq} for rank {rank} "
+                f"(last stored {chain[-1].seq})")
+        if not chain and kind != "full":
+            raise StorageError(
+                f"rank {rank}: chain must start with a full checkpoint")
+        obj = StoredObject(rank=rank, seq=seq, kind=kind, nbytes=nbytes,
+                           payload=payload, stored_at=stored_at)
+        chain.append(obj)
+        return obj
+
+    def mark_committed(self, seq: int) -> None:
+        """Record that global checkpoint ``seq`` is fully durable.
+
+        Every rank must have stored a piece with exactly this sequence.
+        """
+        for rank in range(self.nranks):
+            if not any(obj.seq == seq for obj in self._chains[rank]):
+                raise StorageError(
+                    f"cannot commit seq {seq}: rank {rank} has no piece for it")
+        if self._committed and seq <= self._committed[-1]:
+            raise StorageError(
+                f"non-monotonic commit {seq} (last {self._committed[-1]})")
+        self._committed.append(seq)
+
+    # -- reads -----------------------------------------------------------------
+
+    def chain(self, rank: int, upto_seq: Optional[int] = None) -> list[StoredObject]:
+        """The recovery chain for ``rank``: the latest full checkpoint at
+        or before ``upto_seq`` plus all later deltas up to it."""
+        self._check_rank(rank)
+        objs = self._chains[rank]
+        if upto_seq is not None:
+            objs = [o for o in objs if o.seq <= upto_seq]
+        last_full = None
+        for i, obj in enumerate(objs):
+            if obj.kind == "full":
+                last_full = i
+        if last_full is None:
+            return []
+        return objs[last_full:]
+
+    def latest_committed(self) -> Optional[int]:
+        """Sequence of the most recent fully committed global checkpoint."""
+        return self._committed[-1] if self._committed else None
+
+    def committed_sequences(self) -> list[int]:
+        """All committed global sequences, oldest first."""
+        return list(self._committed)
+
+    def pieces(self, rank: int) -> list[StoredObject]:
+        """All stored pieces for ``rank``, oldest first."""
+        self._check_rank(rank)
+        return list(self._chains[rank])
+
+    # -- maintenance --------------------------------------------------------------
+
+    def truncate(self, rank: int, before_seq: int) -> int:
+        """Drop pieces with ``seq < before_seq`` (after a new full
+        checkpoint makes them unreachable).  Returns bytes reclaimed."""
+        self._check_rank(rank)
+        chain = self._chains[rank]
+        keep = [o for o in chain if o.seq >= before_seq]
+        if keep and keep[0].kind != "full":
+            raise StorageError(
+                f"truncation at seq {before_seq} would orphan incremental "
+                f"pieces for rank {rank}")
+        reclaimed = sum(o.nbytes for o in chain) - sum(o.nbytes for o in keep)
+        self._chains[rank] = keep
+        return reclaimed
+
+    # -- accounting ---------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Bytes held across every rank's chain."""
+        return sum(o.nbytes for chain in self._chains.values() for o in chain)
+
+    def count(self) -> int:
+        """Stored pieces across every rank."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise StorageError(f"rank {rank} outside store of {self.nranks}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.units import fmt_bytes
+        return (f"<CheckpointStore nranks={self.nranks} pieces={self.count()} "
+                f"bytes={fmt_bytes(self.total_bytes())} "
+                f"committed={self.latest_committed()}>")

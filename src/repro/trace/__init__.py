@@ -1,0 +1,10 @@
+"""Trace persistence: save and reload experiment traces.
+
+Traces go to an ``.npz`` (column arrays) plus a JSON sidecar with the
+run metadata, so EXPERIMENTS.md numbers can be regenerated or inspected
+without re-running the simulations.
+"""
+
+from repro.trace.io import load_trace, save_trace, load_traces, save_traces
+
+__all__ = ["load_trace", "load_traces", "save_trace", "save_traces"]

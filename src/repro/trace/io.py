@@ -1,0 +1,100 @@
+"""NPZ + JSON trace serialization."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.instrument.records import TimesliceRecord, TraceLog
+
+_FORMAT_VERSION = 1
+
+_COLUMNS = ("index", "t_start", "t_end", "iws_pages", "iws_bytes",
+            "footprint_bytes", "faults", "received_bytes", "overhead_time")
+
+
+def save_trace(log: TraceLog, path: Union[str, Path]) -> Path:
+    """Write one trace to ``<path>.npz`` and ``<path>.json``.
+
+    Returns the npz path.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        path = path.with_suffix("")
+    arrays = {}
+    for col in _COLUMNS:
+        values = [getattr(r, col) for r in log.records]
+        arrays[col] = np.asarray(values)
+    npz_path = path.with_suffix(".npz")
+    np.savez_compressed(npz_path, **arrays)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "rank": log.rank,
+        "timeslice": log.timeslice,
+        "page_size": log.page_size,
+        "app_name": log.app_name,
+        "n_slices": len(log.records),
+    }
+    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    return npz_path
+
+
+def load_trace(path: Union[str, Path]) -> TraceLog:
+    """Reload a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        path = path.with_suffix("")
+    meta_path = path.with_suffix(".json")
+    npz_path = path.with_suffix(".npz")
+    if not meta_path.exists() or not npz_path.exists():
+        raise ConfigurationError(f"no trace at {path} (.npz + .json expected)")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace format {meta.get('format_version')!r}")
+    data = np.load(npz_path)
+    log = TraceLog(rank=int(meta["rank"]), timeslice=float(meta["timeslice"]),
+                   page_size=int(meta["page_size"]),
+                   app_name=meta.get("app_name", ""))
+    n = int(meta["n_slices"])
+    for i in range(n):
+        log.append(TimesliceRecord(
+            index=int(data["index"][i]),
+            t_start=float(data["t_start"][i]),
+            t_end=float(data["t_end"][i]),
+            iws_pages=int(data["iws_pages"][i]),
+            iws_bytes=int(data["iws_bytes"][i]),
+            footprint_bytes=int(data["footprint_bytes"][i]),
+            faults=int(data["faults"][i]),
+            received_bytes=int(data["received_bytes"][i]),
+            overhead_time=float(data["overhead_time"][i]),
+        ))
+    return log
+
+
+def save_traces(logs: dict[int, TraceLog], directory: Union[str, Path],
+                prefix: str = "rank") -> list[Path]:
+    """Save one trace per rank under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [save_trace(log, directory / f"{prefix}{rank:04d}")
+            for rank, log in sorted(logs.items())]
+
+
+def load_traces(directory: Union[str, Path],
+                prefix: str = "rank") -> dict[int, TraceLog]:
+    """Load every per-rank trace from ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(f"no trace directory {directory}")
+    logs = {}
+    for meta_path in sorted(directory.glob(f"{prefix}*.json")):
+        log = load_trace(meta_path.with_suffix(""))
+        logs[log.rank] = log
+    if not logs:
+        raise ConfigurationError(f"no traces under {directory}")
+    return logs

@@ -1,0 +1,73 @@
+"""Tests for the closed-form IB model, including validation against the
+simulation (the theory-vs-measurement ablation)."""
+
+import pytest
+
+from repro.analytic import predict_ib
+from repro.apps import paper_spec
+from repro.apps.synthetic import small_spec
+from repro.cluster import run_experiment
+from repro.cluster.experiment import paper_config
+from repro.errors import ConfigurationError
+
+
+def test_prediction_validation():
+    with pytest.raises(ConfigurationError):
+        predict_ib(small_spec(), 0.0)
+
+
+def test_avg_never_exceeds_max():
+    for name in ("sage-1000MB", "sweep3d", "ft", "lu"):
+        spec = paper_spec(name)
+        for ts in (0.5, 1.0, 2.0, 5.0, 10.0, 20.0):
+            pred = predict_ib(spec, ts)
+            assert pred.avg_mbps <= pred.max_mbps + 1e-9
+
+
+def test_ib_monotone_decreasing_in_timeslice():
+    spec = paper_spec("sage-1000MB")
+    preds = [predict_ib(spec, ts).avg_mbps for ts in (1, 2, 5, 10, 15, 20)]
+    assert all(b <= a + 1e-9 for a, b in zip(preds, preds[1:]))
+
+
+def test_paper_calibration_recovered_at_1s():
+    """At the calibration point (1 s), the closed form should reproduce
+    the paper's Table 4 values for the long-period apps."""
+    for name in ("sage-1000MB", "sage-500MB", "sweep3d"):
+        spec = paper_spec(name)
+        pred = predict_ib(spec, 1.0)
+        assert pred.avg_mbps == pytest.approx(spec.paper_avg_ib_1s, rel=0.1)
+        assert pred.max_mbps == pytest.approx(spec.paper_max_ib_1s, rel=0.1)
+
+
+@pytest.mark.parametrize("name", ["sweep3d", "bt", "lu", "sp"])
+@pytest.mark.parametrize("timeslice", [1.0, 5.0])
+def test_prediction_matches_simulation(name, timeslice):
+    """Theory vs simulation: within 25 % for the static apps."""
+    spec = paper_spec(name)
+    pred = predict_ib(spec, timeslice)
+    res = run_experiment(paper_config(name, nranks=2, timeslice=timeslice))
+    sim = res.ib()
+    assert pred.avg_mbps == pytest.approx(sim.avg_mbps,
+                                          rel=0.25, abs=1.0)
+    assert pred.max_mbps == pytest.approx(sim.max_mbps,
+                                          rel=0.3, abs=1.0)
+
+
+def test_prediction_matches_simulation_sage():
+    """Sage (dynamic memory) at the headline timeslice."""
+    spec = paper_spec("sage-1000MB")
+    pred = predict_ib(spec, 1.0)
+    res = run_experiment(paper_config("sage-1000MB", nranks=2, timeslice=1.0))
+    sim = res.ib()
+    assert pred.avg_mbps == pytest.approx(sim.avg_mbps, rel=0.15)
+    assert pred.max_mbps == pytest.approx(sim.max_mbps, rel=0.15)
+
+
+def test_iws_per_iteration_bounded_by_visit_volume():
+    spec = paper_spec("sweep3d")
+    for ts in (0.5, 1.0, 5.0):
+        pred = predict_ib(spec, ts)
+        upper = (spec.passes * spec.main_region_mb + spec.temp_mb
+                 + spec.comm_mb_per_iteration)
+        assert pred.iws_per_iteration_mb <= upper + 1e-6

@@ -1,0 +1,190 @@
+"""Integration tests: full application runs on the simulated cluster."""
+
+import math
+
+import pytest
+
+from repro.apps import ScientificApplication, build_app
+from repro.apps.base import neighbor_ranks
+from repro.apps.phases import ComputePhase, IdlePhase
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.errors import ConfigurationError
+from repro.mem import Layout
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.units import KiB, MiB
+
+PS = 16 * KiB
+
+
+def run_app(app, nranks=2, until=None):
+    eng = Engine()
+    job = MPIJob(eng, nranks, process_factory=app.process_factory(eng))
+    procs = job.launch(app.make_body())
+    eng.run(until=until, detect_deadlock=until is None)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return eng, job
+
+
+def test_app_needs_a_bound():
+    with pytest.raises(ConfigurationError):
+        ScientificApplication(small_spec())
+
+
+def test_iterations_counted_and_period_respected():
+    app = SyntheticApp(small_spec(period=2.0), n_iterations=4)
+    eng, job = run_app(app)
+    for rc in app.contexts:
+        assert rc.iterations == 4
+        starts = rc.iteration_starts
+        assert len(starts) == 4
+        periods = [b - a for a, b in zip(starts, starts[1:])]
+        for p in periods:
+            assert p == pytest.approx(2.0, rel=0.15)
+
+
+def test_footprint_matches_spec_static():
+    spec = small_spec(footprint_mb=8, main_mb=4)
+    app = SyntheticApp(spec, n_iterations=1)
+    eng, job = run_app(app)
+    for rc in app.contexts:
+        fp = rc.memory.data_footprint()
+        assert fp == pytest.approx(spec.footprint_bytes, rel=0.05)
+
+
+def test_footprint_matches_spec_dynamic():
+    spec = small_spec(footprint_mb=8, main_mb=4, main_allocation="dynamic",
+                      alloc_style=__import__("repro.proc.allocator",
+                                             fromlist=["AllocStyle"]).AllocStyle.F90)
+    app = SyntheticApp(spec, n_iterations=1)
+    eng, job = run_app(app)
+    for rc in app.contexts:
+        fp = rc.memory.data_footprint()
+        assert fp >= spec.footprint_bytes * 0.95
+        assert len(rc.memory.mmap_segments()) > 0  # F90 put arrays in mmap
+
+
+def test_run_duration_bound():
+    app = SyntheticApp(small_spec(period=1.0), run_duration=5.0)
+    eng, job = run_app(app)
+    for rc in app.contexts:
+        assert 4 <= rc.iterations <= 6
+
+
+def test_temps_oscillate_footprint():
+    spec = small_spec(footprint_mb=8, main_mb=2, temp_mb=4.0,
+                      temp_hold_fraction=0.55, period=2.0)
+    app = SyntheticApp(spec, n_iterations=2)
+    seen = []
+
+    def probe_phase(rc):
+        phases = ScientificApplication.iteration_phases(app, rc)
+        seen.append(rc)
+        return phases
+
+    app.phase_factory = probe_phase
+    eng, job = run_app(app)
+    rc = app.contexts[0]
+    # after the run all temps are freed: footprint back to static
+    assert rc.memory.data_footprint() == pytest.approx(spec.footprint_bytes,
+                                                       rel=0.05)
+    assert rc.blocks.get("temps") is None
+
+
+def test_whole_region_covers_footprint():
+    spec = small_spec(footprint_mb=8, main_mb=4)
+    app = SyntheticApp(spec, n_iterations=1)
+    eng, job = run_app(app)
+    rc = app.contexts[0]
+    whole = rc.region("whole")
+    assert whole.nbytes == pytest.approx(spec.footprint_bytes, rel=0.05)
+    with pytest.raises(ConfigurationError):
+        rc.region("nonexistent")
+
+
+def test_single_rank_run():
+    app = SyntheticApp(small_spec(period=1.0), n_iterations=2)
+    eng, job = run_app(app, nranks=1)
+    assert app.contexts[0].iterations == 2
+
+
+def test_paper_app_small_run_ft_alltoall():
+    """FT's all-to-all transposes run without deadlock on 4 ranks."""
+    app = build_app("ft", n_iterations=2)
+    eng, job = run_app(app, nranks=4)
+    rc = app.contexts[0]
+    assert rc.iterations == 2
+    assert rc.comm.bytes_received > 10 * MiB  # transposes moved real data
+
+
+def test_custom_phase_factory():
+    spec = small_spec(period=1.0)
+    calls = []
+
+    def phases(rc):
+        calls.append(rc.rank)
+        return [ComputePhase("main", 0.5, 1.0), IdlePhase(0.5)]
+
+    app = SyntheticApp(spec, n_iterations=3, phase_factory=phases)
+    eng, job = run_app(app)
+    assert len(calls) == 6  # 2 ranks x 3 iterations
+
+
+def test_weak_scaling_stretches_period():
+    """More ranks -> slightly longer iterations (the Fig 5 mechanism)."""
+    periods = {}
+    for nranks in (2, 8):
+        spec = small_spec(period=1.0, comm_mb=0.5, pattern="ring",
+                          global_reduction=True)
+        app = SyntheticApp(spec, n_iterations=3)
+        run_app(app, nranks=nranks)
+        rc = app.contexts[0]
+        starts = rc.iteration_starts
+        periods[nranks] = (starts[-1] - starts[0]) / (len(starts) - 1)
+    assert periods[8] > periods[2]
+
+
+# -- neighbour patterns ------------------------------------------------------------
+
+def test_neighbors_ring():
+    assert neighbor_ranks(0, 4, "ring") == [3, 1]
+    assert neighbor_ranks(0, 2, "ring") == [1]
+    assert neighbor_ranks(0, 1, "ring") == []
+
+
+def test_neighbors_grid2d():
+    nbrs = neighbor_ranks(0, 16, "grid2d")
+    assert len(nbrs) == 4
+    assert 0 not in nbrs
+    # 4x4 torus: rank 0 touches 3, 1, 12, 4
+    assert sorted(nbrs) == [1, 3, 4, 12]
+
+
+def test_neighbors_grid2d_nonsquare():
+    for size in (6, 8, 12):
+        for rank in range(size):
+            nbrs = neighbor_ranks(rank, size, "grid2d")
+            assert rank not in nbrs
+            assert len(set(nbrs)) == len(nbrs)
+            assert all(0 <= n < size for n in nbrs)
+
+
+def test_neighbors_alltoall():
+    assert neighbor_ranks(1, 4, "alltoall") == [0, 2, 3]
+
+
+def test_neighbors_symmetric():
+    """If b is a's neighbour then a is b's (needed for matched exchanges)."""
+    for pattern in ("ring", "grid2d"):
+        for size in (2, 4, 6, 9, 16):
+            for a in range(size):
+                for b in neighbor_ranks(a, size, pattern):
+                    assert a in neighbor_ranks(b, size, pattern), (
+                        pattern, size, a, b)
+
+
+def test_neighbors_unknown_pattern():
+    with pytest.raises(ConfigurationError):
+        neighbor_ranks(0, 4, "star")

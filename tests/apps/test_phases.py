@@ -1,0 +1,165 @@
+"""Unit tests for individual workload phases."""
+
+import pytest
+
+from repro.apps.phases import (
+    AllocPhase,
+    AlltoallPhase,
+    BarrierPhase,
+    ComputePhase,
+    FreePhase,
+    HaloExchangePhase,
+    IdlePhase,
+    pad_until,
+    sweep,
+)
+from repro.apps.regions import Region
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.errors import ConfigurationError
+from repro.mpi import MPIJob
+from repro.sim import Engine
+
+
+def run_phases(phases_fn, nranks=2, n_iterations=2, spec=None):
+    spec = spec or small_spec(period=1.0, footprint_mb=8, main_mb=4)
+    eng = Engine()
+    app = SyntheticApp(spec, n_iterations=n_iterations,
+                       phase_factory=phases_fn)
+    job = MPIJob(eng, nranks, process_factory=app.process_factory(eng))
+    procs = job.launch(app.make_body())
+    eng.run(detect_deadlock=True)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return eng, app
+
+
+# -- validation ---------------------------------------------------------------------
+
+def test_compute_phase_validation():
+    with pytest.raises(ConfigurationError):
+        ComputePhase("main", duration=1.0, passes=0)
+
+
+def test_idle_phase_validation():
+    with pytest.raises(ConfigurationError):
+        IdlePhase(-1.0)
+
+
+def test_halo_phase_validation():
+    with pytest.raises(ConfigurationError):
+        HaloExchangePhase(nbytes_total=-1, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        HaloExchangePhase(nbytes_total=0, duration=1.0, rounds=0)
+
+
+def test_alltoall_phase_validation():
+    with pytest.raises(ConfigurationError):
+        AlltoallPhase(nbytes_total=-1, duration=1.0)
+
+
+def test_alloc_phase_validation():
+    with pytest.raises(ConfigurationError):
+        AllocPhase("t", nbytes=0, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        AllocPhase("t", nbytes=100, duration=0.0)
+    with pytest.raises(ConfigurationError):
+        AllocPhase("t", nbytes=100, duration=1.0, nblocks=0)
+
+
+def test_free_of_unknown_allocation_fails():
+    with pytest.raises(ConfigurationError):
+        run_phases(lambda rc: [FreePhase("never-allocated")])
+
+
+# -- behaviour ----------------------------------------------------------------------
+
+def test_compute_phase_duration_respected():
+    eng, app = run_phases(
+        lambda rc: [ComputePhase("main", duration=0.7, passes=1.0),
+                    IdlePhase(0.3)],
+        n_iterations=3)
+    rc = app.contexts[0]
+    starts = rc.iteration_starts
+    for a, b in zip(starts, starts[1:]):
+        assert b - a == pytest.approx(1.0, rel=0.05)
+
+
+def test_compute_phase_writes_expected_fraction():
+    seen = []
+
+    def phases(rc):
+        def probe():
+            seen.append(rc.memory.dirty_pages())
+            yield from ()
+        class Probe:
+            label = "probe"
+            def run(self, rc):
+                return probe()
+        rc.memory.reset_dirty()
+        rc.memory.protect_data()
+        return [ComputePhase("main", duration=0.5, passes=0.5), Probe()]
+
+    eng, app = run_phases(phases, n_iterations=1)
+    main_pages = app.contexts[0].region("main").npages
+    # half a pass touches half the region
+    assert seen[0] == pytest.approx(main_pages / 2, abs=2)
+
+
+def test_alloc_free_cycle_restores_footprint():
+    spec = small_spec(period=1.0, footprint_mb=8, main_mb=2)
+
+    def phases(rc):
+        return [AllocPhase("tmp", nbytes=2 * 1024 * 1024, duration=0.2),
+                IdlePhase(0.2),
+                FreePhase("tmp"),
+                IdlePhase(0.6)]
+
+    eng, app = run_phases(phases, spec=spec, n_iterations=3)
+    rc = app.contexts[0]
+    assert rc.memory.data_footprint() == pytest.approx(spec.footprint_bytes,
+                                                       rel=0.05)
+    assert "tmp" not in rc.blocks
+
+
+def test_barrier_phase_without_reduction():
+    eng, app = run_phases(lambda rc: [BarrierPhase(reduction=False),
+                                      IdlePhase(0.5)])
+    assert app.contexts[0].iterations == 2
+
+
+def test_halo_exchange_single_rank_degenerates_to_idle():
+    eng, app = run_phases(
+        lambda rc: [HaloExchangePhase(nbytes_total=1024, duration=0.5,
+                                      rounds=2)],
+        nranks=1, n_iterations=2)
+    rc = app.contexts[0]
+    starts = rc.iteration_starts
+    assert starts[1] - starts[0] == pytest.approx(0.5, rel=0.05)
+
+
+def test_alltoall_recv_region_too_small_rejected():
+    spec = small_spec(period=1.0, footprint_mb=8, main_mb=4,
+                      pattern="alltoall")
+
+    def phases(rc):
+        huge = rc.region("recvbuf").nbytes * 10
+        return [AlltoallPhase(nbytes_total=huge * (rc.size - 1),
+                              duration=0.1)]
+
+    with pytest.raises(ConfigurationError):
+        run_phases(phases, spec=spec, nranks=3, n_iterations=1)
+
+
+def test_sweep_validation():
+    eng = Engine()
+    with pytest.raises(ConfigurationError):
+        list(sweep(None, None, duration=0.0, passes=1.0))
+
+
+def test_pad_until_past_time_is_noop():
+    class FakeRC:
+        class engine:
+            now = 10.0
+    steps = list(pad_until(FakeRC, 5.0))
+    assert steps == []

@@ -1,0 +1,61 @@
+"""Tests for calibration validation -- including the repository's own
+fidelity gate: every paper application must reproduce within tolerance."""
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.apps.validation import (
+    CalibrationReport,
+    MetricCheck,
+    summarize,
+    validate_all,
+    validate_app,
+)
+from repro.errors import CalibrationError
+
+
+def test_metric_check_deviation():
+    assert MetricCheck("x", 110.0, 100.0).deviation == pytest.approx(0.10)
+    assert MetricCheck("x", 0.0, 0.0).deviation == 0.0
+    assert MetricCheck("x", 1.0, 0.0).deviation == float("inf")
+    assert "sim=" in MetricCheck("x", 1.0, 1.0).as_row()
+
+
+def test_report_worst_and_passed():
+    report = CalibrationReport("demo", (
+        MetricCheck("a", 100.0, 100.0),
+        MetricCheck("b", 120.0, 100.0),
+    ))
+    assert report.worst().metric == "b"
+    assert report.passed(tolerance=0.25)
+    assert not report.passed(tolerance=0.10)
+    assert "demo" in report.render()
+
+
+def test_empty_report_worst_raises():
+    with pytest.raises(CalibrationError):
+        CalibrationReport("empty", ()).worst()
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_APPS))
+def test_every_paper_app_within_tolerance(name):
+    """The repository's fidelity gate: each application reproduces its
+    Tables 2-4 values within 15 %."""
+    report = validate_app(name)
+    assert report.passed(tolerance=0.15), "\n" + report.render()
+
+
+def test_validate_all_and_summary():
+    reports = validate_all()
+    assert set(reports) == set(PAPER_APPS)
+    text = summarize(reports)
+    assert f"{len(PAPER_APPS)}/{len(PAPER_APPS)} applications" in text
+
+
+def test_cli_validate_single_app():
+    import io
+    from repro.cli import main
+    out = io.StringIO()
+    code = main(["validate", "--app", "lu"], out=out)
+    assert code == 0
+    assert "avg IB" in out.getvalue()

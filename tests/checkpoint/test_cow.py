@@ -1,0 +1,130 @@
+"""Unit and integration tests for copy-on-write write-out windows."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.checkpoint import CheckpointEngine, FullCheckpointer
+from repro.checkpoint.cow import CowWriteout
+from repro.errors import CheckpointError
+from repro.instrument import InstrumentationLibrary, TrackerConfig
+from repro.mem import Layout
+from repro.mpi import MPIJob
+from repro.proc import Process
+from repro.sim import Engine, SimProcess, Timeout
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def make_process(data_pages=16):
+    eng = Engine()
+    proc = Process(eng, layout=Layout(page_size=PS), data_size=data_pages * PS)
+    return eng, proc
+
+
+def captured_checkpoint(proc):
+    return FullCheckpointer().capture(proc.memory, seq=0,
+                                     taken_at=proc.engine.now)
+
+
+def test_validation():
+    eng, proc = make_process()
+    ckpt = captured_checkpoint(proc)
+    with pytest.raises(CheckpointError):
+        CowWriteout(proc, ckpt, duration=-1.0)
+    with pytest.raises(CheckpointError):
+        CowWriteout(proc, ckpt, duration=1.0, memcpy_bandwidth=0)
+
+
+def test_collision_charges_copy():
+    eng, proc = make_process()
+    proc.mprotect_data()  # captured pages protected, as after an alarm
+    ckpt = captured_checkpoint(proc)
+    writeout = CowWriteout(proc, ckpt, duration=10.0)
+
+    def body():
+        yield Timeout(0.1)  # almost nothing flushed yet
+        proc.memory.cpu_write(proc.memory.data.base + 12 * PS, 2 * PS)
+
+    SimProcess(eng, body())
+    eng.run(until=0.2)
+    assert writeout.cow_copies == 2
+    assert writeout.cow_time == pytest.approx(2 * PS / (2 * 2 ** 30))
+    assert proc.overhead_time >= writeout.cow_time
+
+
+def test_no_cost_after_flush_completes():
+    eng, proc = make_process()
+    proc.mprotect_data()
+    ckpt = captured_checkpoint(proc)
+    writeout = CowWriteout(proc, ckpt, duration=1.0)
+
+    def body():
+        yield Timeout(2.0)  # stream finished at t=1
+        proc.memory.cpu_write(proc.memory.data.base, 4 * PS)
+
+    SimProcess(eng, body())
+    eng.run()
+    assert not writeout.active
+    assert writeout.cow_copies == 0
+
+
+def test_late_writes_hit_fewer_pending_pages():
+    """Flushing progresses linearly: a write at 90% of the window can
+    collide with at most the last ~10% of the captured pages."""
+    eng, proc = make_process(data_pages=100)
+    proc.mprotect_data()
+    ckpt = captured_checkpoint(proc)
+    writeout = CowWriteout(proc, ckpt, duration=10.0)
+
+    def body():
+        yield Timeout(9.0)
+        # touch everything: only the unflushed tail can collide
+        proc.memory.cpu_write(proc.memory.data.base, 100 * PS)
+
+    SimProcess(eng, body())
+    eng.run(until=9.5)
+    assert 0 < writeout.cow_copies <= 12
+
+
+def test_writes_outside_captured_set_cost_nothing():
+    eng, proc = make_process()
+    seg = proc.mmap(4 * PS)
+    proc.mprotect_data()
+    # capture only the data segment pages by building a checkpoint from a
+    # process without the mmap... simpler: collide on the mmap, which IS
+    # captured by a full checkpoint -- so instead write the stack
+    ckpt = captured_checkpoint(proc)
+    writeout = CowWriteout(proc, ckpt, duration=10.0)
+    proc.memory.cpu_write(proc.memory.stack.base, PS)  # never captured
+    assert writeout.cow_copies == 0
+
+
+def test_zero_duration_window_inert():
+    eng, proc = make_process()
+    proc.mprotect_data()
+    ckpt = captured_checkpoint(proc)
+    writeout = CowWriteout(proc, ckpt, duration=0.0)
+    assert not writeout.active
+    proc.memory.cpu_write(proc.memory.data.base, PS)
+    assert writeout.cow_copies == 0
+
+
+def test_engine_cow_integration():
+    """With COW on, a busy app accumulates copy charges; the engine
+    aggregates them."""
+    spec = small_spec(name="cow-app", footprint_mb=16, main_mb=8,
+                      period=1.0, passes=2.0, burst_fraction=0.9,
+                      comm_mb=0.0, comm_fraction=0.05)
+    engine = Engine()
+    app = SyntheticApp(spec, n_iterations=6)
+    job = MPIJob(engine, 2, process_factory=app.process_factory(engine))
+    lib = InstrumentationLibrary(TrackerConfig(timeslice=0.5)).install(job)
+    ckpt = CheckpointEngine(job, lib, interval_slices=1, cow=True)
+    job.launch(app.make_body())
+    engine.run(detect_deadlock=True)
+    copies, cow_time = ckpt.cow_stats()
+    assert copies > 0
+    assert cow_time > 0
+    assert len(ckpt.committed()) > 0

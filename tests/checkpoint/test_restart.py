@@ -1,0 +1,130 @@
+"""Integration tests: restart-and-continue from a checkpoint store."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.checkpoint import CheckpointEngine, RestartCoordinator, apply_chain
+from repro.checkpoint.recovery import RecoveryManager
+from repro.errors import RecoveryError
+from repro.instrument import InstrumentationLibrary, TrackerConfig
+from repro.mem import AddressSpace
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.storage import CheckpointStore
+
+SPEC = small_spec(name="restartable", footprint_mb=8, main_mb=4,
+                  period=1.0, passes=1.0, comm_mb=0.25)
+
+
+def run_until_failure(fail_at=5.25):
+    """First life: run, checkpoint, fail a rank."""
+    engine = Engine()
+    app = SyntheticApp(SPEC, n_iterations=1000)
+    job = MPIJob(engine, 2, process_factory=app.process_factory(engine))
+    lib = InstrumentationLibrary(TrackerConfig(timeslice=0.5)).install(job)
+    ckpt = CheckpointEngine(job, lib, interval_slices=2, full_every=4)
+    reference = {}
+
+    def install_snap(ctx):
+        tracker = lib.tracker(ctx.rank)
+
+        def snap(record, trk, r=ctx.rank):
+            if (record.index + 1) % 2 == 0:
+                reference[(r, record.index)] = \
+                    trk.process.memory.state_signature()
+
+        tracker.slice_listeners.insert(0, snap)
+
+    job.init_hooks.append(install_snap)
+    job.launch(app.make_body())
+    engine.schedule(fail_at, job.fail_rank, 1)
+    engine.run(until=fail_at + 0.25)
+    return app, ckpt, reference
+
+
+def test_restart_restores_and_continues():
+    app, ckpt, reference = run_until_failure()
+    seq = ckpt.store.latest_committed()
+    assert seq is not None
+
+    # second life: fresh engine and cluster, resumed from the store
+    engine2 = Engine()
+    app2 = SyntheticApp(SPEC, n_iterations=3)
+    coordinator = RestartCoordinator(ckpt.store, app2)
+    job2 = coordinator.restart(engine2)
+    lib2 = InstrumentationLibrary(TrackerConfig(timeslice=0.5)).install(job2)
+
+    # verify the restored memory at the exact restore point, before any
+    # new computation overwrites it
+    restored_sigs = {}
+    procs = coordinator.launch(
+        job2, on_restored=lambda ctx: restored_sigs.__setitem__(
+            ctx.rank, ctx.memory.state_signature()))
+
+    engine2.run(detect_deadlock=True)
+    for rank in range(2):
+        assert AddressSpace.signatures_equal(restored_sigs[rank],
+                                             reference[(rank, seq)]), \
+            f"rank {rank} restart state differs from checkpoint {seq}"
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    for rc in app2.contexts:
+        assert rc.iterations == 3
+    # the restarted run wrote new data on top of the restored state
+    for rank in range(2):
+        sig = job2.processes[rank].memory.state_signature()
+        assert not AddressSpace.signatures_equal(sig, reference[(rank, seq)])
+
+
+def test_restart_to_earlier_sequence():
+    app, ckpt, reference = run_until_failure()
+    committed = [gc.seq for gc in ckpt.committed()]
+    assert len(committed) >= 2
+    engine2 = Engine()
+    app2 = SyntheticApp(SPEC, n_iterations=1)
+    coordinator = RestartCoordinator(ckpt.store, app2)
+    job2 = coordinator.restart(engine2, seq=committed[0])
+    restored_sigs = {}
+    coordinator.launch(job2, on_restored=lambda ctx: restored_sigs.__setitem__(
+        ctx.rank, ctx.memory.state_signature()))
+    engine2.run(detect_deadlock=True)
+    assert AddressSpace.signatures_equal(restored_sigs[0],
+                                         reference[(0, committed[0])])
+
+
+def test_restart_requires_commit():
+    store = CheckpointStore(2)
+    app = SyntheticApp(SPEC, n_iterations=1)
+    coordinator = RestartCoordinator(store, app)
+    with pytest.raises(RecoveryError):
+        coordinator.restart(Engine())
+
+
+def test_restart_rank_count_must_match():
+    app, ckpt, _ = run_until_failure()
+    coordinator = RestartCoordinator(ckpt.store, app)
+    with pytest.raises(RecoveryError):
+        coordinator.restart(Engine(), nranks=4)
+
+
+def test_apply_chain_strict_geometry_checks():
+    app, ckpt, _ = run_until_failure()
+    recovery = RecoveryManager(ckpt.store, layout=app.layout)
+    chain = recovery.recovery_chain(0)
+
+    # geometry too small: a fresh empty process lacks the segments
+    from repro.proc import Process
+    fresh = Process(Engine(), layout=app.layout, data_size=0, bss_size=0)
+    with pytest.raises(RecoveryError):
+        apply_chain(fresh.memory, chain, strict=True)
+
+    # mismatched segment size
+    from repro.mem import Layout
+    eng = Engine()
+    app3 = SyntheticApp(SPEC.scaled(footprint_mb=12.0), n_iterations=1)
+    job3 = MPIJob(eng, 2, process_factory=app3.process_factory(eng))
+    job3.launch(app3.make_body())
+    eng.run(detect_deadlock=True)
+    with pytest.raises(RecoveryError):
+        apply_chain(job3.processes[0].memory, chain, strict=True)

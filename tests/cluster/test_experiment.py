@@ -1,0 +1,136 @@
+"""Integration tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.apps.synthetic import small_spec
+from repro.cluster import (
+    ClusterSpec,
+    ExperimentConfig,
+    NodeSpec,
+    RX2600,
+    run_experiment,
+    sweep_processors,
+    sweep_timeslices,
+)
+from repro.cluster.experiment import paper_config, run_uninstrumented
+from repro.errors import ConfigurationError
+from repro.units import GiB, MiB
+
+
+def tiny_config(**kw):
+    kw.setdefault("spec", small_spec(period=1.0, footprint_mb=4, main_mb=2))
+    kw.setdefault("nranks", 2)
+    kw.setdefault("timeslice", 0.5)
+    kw.setdefault("run_duration", 5.0)
+    return ExperimentConfig(**kw)
+
+
+def test_run_experiment_produces_traces_for_all_ranks():
+    res = run_experiment(tiny_config(nranks=3))
+    assert sorted(res.logs) == [0, 1, 2]
+    assert res.iterations >= 4
+    assert res.init_end_time > 0
+    assert res.final_time > res.init_end_time
+
+
+def test_ib_and_footprint_derivations():
+    res = run_experiment(tiny_config())
+    stats = res.ib()
+    assert stats.avg_mbps > 0
+    assert stats.max_mbps >= stats.avg_mbps
+    fp = res.footprint()
+    assert fp.max_mb == pytest.approx(4.0, rel=0.2)
+    assert 0 < res.iws_ratio() <= 1.0
+    assert res.measured_period() == pytest.approx(1.0, rel=0.2)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        tiny_config(nranks=0)
+    with pytest.raises(ConfigurationError):
+        tiny_config(timeslice=0.0)
+
+
+def test_sweep_timeslices_ib_declines():
+    cfg = tiny_config(spec=small_spec(period=2.0, footprint_mb=4, main_mb=2,
+                                      passes=3.0),
+                      run_duration=10.0)
+    results = sweep_timeslices(cfg, [0.5, 2.0])
+    avg = {ts: r.ib().avg_mbps for ts, r in results.items()}
+    assert avg[2.0] < avg[0.5]
+    with pytest.raises(ConfigurationError):
+        sweep_timeslices(cfg, [])
+
+
+def test_sweep_processors_weak_scaling():
+    cfg = tiny_config(run_duration=6.0)
+    results = sweep_processors(cfg, [1, 2, 4])
+    for n, res in results.items():
+        assert len(res.logs) == n
+        # per-process footprint constant under weak scaling
+        assert res.footprint().max_mb == pytest.approx(4.0, rel=0.2)
+    with pytest.raises(ConfigurationError):
+        sweep_processors(cfg, [])
+
+
+def test_run_duration_extends_for_long_timeslices():
+    cfg = tiny_config(timeslice=10.0, run_duration=5.0)
+    res = run_experiment(cfg)
+    assert len(res.log(0)) >= 4  # harness stretched the run
+
+
+def test_slowdown_vs_baseline():
+    spec = small_spec(period=1.0, footprint_mb=8, main_mb=4, passes=2.0)
+    cfg = tiny_config(spec=spec, run_duration=5.0, charge_overhead=True,
+                      fault_cost=100e-6)
+    instrumented = run_experiment(cfg)
+    baseline = run_uninstrumented(cfg)
+    slowdown = instrumented.slowdown_vs(baseline)
+    assert slowdown > 0.0
+    assert slowdown < 1.0  # not absurd
+
+
+def test_paper_config_builder():
+    cfg = paper_config("lu", nranks=2, run_duration=5.0)
+    assert cfg.spec.name == "lu"
+    res = run_experiment(cfg)
+    assert res.ib().avg_mbps > 0
+
+
+def test_scaled_copy():
+    cfg = tiny_config()
+    cfg2 = cfg.scaled(timeslice=2.0)
+    assert cfg2.timeslice == 2.0 and cfg.timeslice == 0.5
+
+
+# -- node/cluster specs --------------------------------------------------------------
+
+def test_rx2600_spec():
+    assert RX2600.cpus == 2
+    assert RX2600.io_buses == 2
+    assert RX2600.max_dirty_rate() == RX2600.memory_write_bandwidth
+
+
+def test_node_validation():
+    with pytest.raises(ConfigurationError):
+        NodeSpec("bad", cpus=0, memory_write_bandwidth=1, io_buses=1,
+                 memory_capacity=1)
+    with pytest.raises(ConfigurationError):
+        NodeSpec("bad", cpus=1, memory_write_bandwidth=0, io_buses=1,
+                 memory_capacity=1)
+
+
+def test_cluster_spec():
+    cluster = ClusterSpec(nnodes=32)
+    assert cluster.total_processors == 64  # the paper's testbed
+    assert cluster.validates_demand(100 * MiB)
+    assert not cluster.validates_demand(100 * GiB)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(nnodes=0)
+
+
+def test_measured_ib_within_node_memory_bandwidth():
+    """Physical sanity: no app demands more IB than the Itanium II's
+    memory system could write."""
+    res = run_experiment(tiny_config())
+    assert res.config.cluster.validates_demand(res.ib().max_mbps * MiB)

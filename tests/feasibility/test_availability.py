@@ -1,0 +1,128 @@
+"""Unit and property tests for the availability model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.feasibility import (
+    CheckpointCostModel,
+    FailureModel,
+    efficiency,
+    efficiency_curve,
+    optimal_efficiency,
+    scale_study,
+    young_interval,
+)
+from repro.units import MiB
+
+
+HOUR = 3600.0
+
+
+def test_system_mtbf_scales_inversely_with_nodes():
+    fm = FailureModel(node_mtbf=100_000 * HOUR, nnodes=65536)
+    # the paper's BlueGene/L point: failures every few hours
+    assert fm.system_mtbf == pytest.approx(100_000 * HOUR / 65536)
+    assert 1 * HOUR < fm.system_mtbf < 10 * HOUR
+
+
+def test_failure_model_validation():
+    with pytest.raises(ConfigurationError):
+        FailureModel(node_mtbf=0, nnodes=1)
+    with pytest.raises(ConfigurationError):
+        FailureModel(node_mtbf=1, nnodes=0)
+    with pytest.raises(ConfigurationError):
+        FailureModel(node_mtbf=1, nnodes=1, restart_time=-1)
+
+
+def test_checkpoint_cost():
+    cm = CheckpointCostModel(delta_bytes=int(80 * MiB),
+                             storage_bandwidth=320 * MiB, latency=0.1)
+    assert cm.cost == pytest.approx(0.1 + 80 / 320)
+    with pytest.raises(ConfigurationError):
+        CheckpointCostModel(delta_bytes=-1, storage_bandwidth=1)
+    with pytest.raises(ConfigurationError):
+        CheckpointCostModel(delta_bytes=1, storage_bandwidth=0)
+
+
+def test_young_interval_formula():
+    assert young_interval(2.0, 10000.0) == pytest.approx(math.sqrt(40000.0))
+    with pytest.raises(ConfigurationError):
+        young_interval(0, 100)
+    with pytest.raises(ConfigurationError):
+        young_interval(1, 0)
+
+
+def test_efficiency_zero_when_interval_not_above_cost():
+    fm = FailureModel(node_mtbf=1000 * HOUR, nnodes=10)
+    assert efficiency(1.0, 1.0, fm) == 0.0
+    assert efficiency(0.5, 1.0, fm) == 0.0
+
+
+def test_efficiency_reasonable_at_optimum():
+    fm = FailureModel(node_mtbf=50_000 * HOUR, nnodes=1024,
+                      restart_time=60.0)
+    cost = 1.0
+    tau, eff = optimal_efficiency(cost, fm)
+    assert 0.9 < eff < 1.0
+    # the optimum beats nearby intervals
+    assert eff >= efficiency(tau * 2, cost, fm)
+    assert eff >= efficiency(tau / 2, cost, fm)
+
+
+def test_efficiency_curve_unimodal_shape():
+    fm = FailureModel(node_mtbf=10_000 * HOUR, nnodes=4096,
+                      restart_time=120.0)
+    cost = 5.0
+    intervals = [30, 60, 120, 300, 600, 1800, 3600]
+    curve = efficiency_curve(cost, fm, intervals)
+    effs = [e for _, e in curve]
+    peak = max(range(len(effs)), key=lambda i: effs[i])
+    # rises to a single interior or boundary peak, then falls
+    assert all(a <= b + 1e-12 for a, b in zip(effs[:peak], effs[1:peak + 1]))
+    assert all(a >= b - 1e-12 for a, b in zip(effs[peak:], effs[peak + 1:]))
+    with pytest.raises(ConfigurationError):
+        efficiency_curve(cost, fm, [])
+
+
+def test_scale_study_efficiency_declines_with_size():
+    """Bigger machines fail more often: optimal efficiency falls, the
+    optimal interval shrinks toward 'every few minutes'."""
+    rows = scale_study(delta_bytes=int(80 * MiB),
+                       storage_bandwidth=320 * MiB,
+                       node_mtbf=100_000 * HOUR,
+                       node_counts=[1024, 8192, 65536])
+    effs = [r["efficiency"] for r in rows]
+    intervals = [r["optimal_interval"] for r in rows]
+    assert effs[0] > effs[1] > effs[2]
+    assert intervals[0] > intervals[1] > intervals[2]
+    # the BlueGene/L-scale row wants checkpoints every few minutes
+    assert intervals[-1] < 15 * 60
+
+
+@given(st.floats(min_value=0.1, max_value=30.0),
+       st.integers(min_value=1, max_value=100_000),
+       st.floats(min_value=100.0, max_value=1e6))
+@settings(max_examples=150)
+def test_property_efficiency_bounded(cost, nnodes, node_mtbf_hours):
+    fm = FailureModel(node_mtbf=node_mtbf_hours * HOUR, nnodes=nnodes)
+    tau, eff = optimal_efficiency(cost, fm)
+    assert 0.0 <= eff <= 1.0
+    assert tau > 0
+
+
+@given(st.integers(min_value=1, max_value=4096),
+       st.integers(min_value=2, max_value=16))
+@settings(max_examples=80)
+def test_property_more_nodes_never_better(nnodes, factor):
+    """Under identical per-node reliability, a larger machine can never
+    be more efficient at its own optimum."""
+    cost = 2.0
+    small = FailureModel(node_mtbf=50_000 * HOUR, nnodes=nnodes)
+    big = FailureModel(node_mtbf=50_000 * HOUR, nnodes=nnodes * factor)
+    _, eff_small = optimal_efficiency(cost, small)
+    _, eff_big = optimal_efficiency(cost, big)
+    assert eff_big <= eff_small + 1e-12

@@ -1,0 +1,159 @@
+"""Integration tests: the preload library on full application runs."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.errors import ConfigurationError
+from repro.instrument import InstrumentationLibrary, TrackerConfig
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.units import MiB
+
+
+def run_instrumented(spec, nranks=2, timeslice=0.5, n_iterations=4,
+                     charge_overhead=False, **cfg):
+    eng = Engine()
+    app = SyntheticApp(spec, n_iterations=n_iterations,
+                       charge_overhead=charge_overhead)
+    job = MPIJob(eng, nranks, process_factory=app.process_factory(eng))
+    lib = InstrumentationLibrary(TrackerConfig(timeslice=timeslice, **cfg),
+                                 app_name=spec.name).install(job)
+    procs = job.launch(app.make_body())
+    eng.run(detect_deadlock=True)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return eng, app, job, lib
+
+
+def test_one_tracker_per_rank():
+    eng, app, job, lib = run_instrumented(small_spec(), nranks=3)
+    assert sorted(lib.trackers) == [0, 1, 2]
+    assert set(lib.all_records()) == {0, 1, 2}
+    with pytest.raises(ConfigurationError):
+        lib.tracker(7)
+
+
+def test_double_install_rejected():
+    eng = Engine()
+    job = MPIJob(eng, 1)
+    lib = InstrumentationLibrary()
+    lib.install(job)
+    with pytest.raises(ConfigurationError):
+        lib.install(job)
+
+
+def test_trackers_detached_after_run():
+    """The MPI_Finalize hook disarms the alarm so the engine drains."""
+    eng, app, job, lib = run_instrumented(small_spec(period=1.0))
+    for tracker in lib.trackers.values():
+        assert not tracker.attached
+    # engine drained on its own (run() already returned) -- nothing pending
+    assert eng.pending_events() == 0
+
+
+def test_initialization_spike_recorded():
+    """The first slices carry the data-initialization burst (Fig 1a)."""
+    spec = small_spec(footprint_mb=8, main_mb=2, period=4.0, passes=0.5)
+    eng, app, job, lib = run_instrumented(spec, timeslice=0.5,
+                                          n_iterations=2)
+    log = lib.records(0)
+    init_end = app.contexts[0].init_end_time
+    init_slices = [r for r in log if r.t_end <= init_end + 0.5]
+    steady = log.after(init_end)
+    assert sum(r.iws_bytes for r in init_slices) >= spec.footprint_bytes * 0.9
+    assert max(r.iws_bytes for r in init_slices) > max(
+        (r.iws_bytes for r in steady), default=0)
+
+
+def test_iws_periodicity_matches_iteration():
+    spec = small_spec(footprint_mb=8, main_mb=4, period=2.0, passes=1.0,
+                      comm_mb=0.0)
+    eng, app, job, lib = run_instrumented(spec, timeslice=0.5,
+                                          n_iterations=6)
+    log = lib.records(0).after(app.contexts[0].init_end_time)
+    iws = log.iws_mb()
+    # one burst per iteration, 4 slices per period: autocorrelation at lag
+    # 4 should be strong (identical consecutive iterations)
+    assert len(iws) >= 16
+    lag = 4
+    a, b = iws[:-lag], iws[lag:]
+    n = min(len(a), len(b))
+    assert abs(a[:n] - b[:n]).max() <= max(iws) * 0.25
+
+
+def test_received_bytes_recorded():
+    spec = small_spec(comm_mb=1.0, period=2.0)
+    eng, app, job, lib = run_instrumented(spec, n_iterations=3)
+    log = lib.records(0)
+    total_rx = sum(r.received_bytes for r in log)
+    assert total_rx >= 2 * int(1.0 * MiB)  # >= 2 full iterations' worth
+
+
+def test_received_data_dirties_pages():
+    """With interception, received data shows up in the IWS."""
+    spec = small_spec(footprint_mb=8, main_mb=1, period=2.0, passes=0.1,
+                      comm_mb=2.0)
+    eng, app, job, lib = run_instrumented(spec, n_iterations=3)
+    log = lib.records(0).after(app.contexts[0].init_end_time)
+    # slices with receives have IWS at least as big as data received
+    rx_slices = [r for r in log if r.received_bytes > 0]
+    assert rx_slices
+    for r in rx_slices:
+        assert r.iws_bytes >= r.received_bytes * 0.5
+
+
+def test_interception_off_undercounts():
+    """Without the bounce buffer, DMA'd receives are invisible: the IWS
+    misses them (the hazard of section 4.2)."""
+    spec = small_spec(footprint_mb=8, main_mb=1, period=2.0, passes=0.1,
+                      comm_mb=2.0)
+    _, _, _, lib_on = run_instrumented(spec, n_iterations=3)
+    # strict DMA would raise; build the interception-off run manually
+    # with lenient NICs
+    eng = Engine()
+    app = SyntheticApp(spec, n_iterations=3)
+    job = MPIJob(eng, 2, process_factory=app.process_factory(eng))
+    for nic in job.nics:
+        nic.strict_dma = False
+    lib_off = InstrumentationLibrary(
+        TrackerConfig(timeslice=0.5, intercept_receives=False),
+        app_name=spec.name).install(job)
+    job.launch(app.make_body())
+    eng.run(detect_deadlock=True)
+
+    iws_on = sum(r.iws_bytes for r in lib_on.records(0))
+    iws_off = sum(r.iws_bytes for r in lib_off.records(0))
+    assert iws_off < iws_on
+    assert sum(nic.dma_missed_pages for nic in job.nics) > 0
+
+
+def test_overhead_charged_stretches_runtime():
+    """Section 6.5: instrumentation slows the application down."""
+    spec = small_spec(footprint_mb=8, main_mb=4, period=1.0, passes=2.0)
+
+    eng_base = Engine()
+    app_base = SyntheticApp(spec, n_iterations=5)
+    job = MPIJob(eng_base, 2, process_factory=app_base.process_factory(eng_base))
+    job.launch(app_base.make_body())
+    eng_base.run(detect_deadlock=True)
+    base_time = eng_base.now
+
+    eng, app, job, lib = run_instrumented(spec, n_iterations=5,
+                                          charge_overhead=True,
+                                          fault_cost=100e-6)
+    assert eng.now > base_time
+    slowdown = (eng.now - base_time) / base_time
+    assert slowdown > 0.005
+
+
+def test_paper_bulk_synchrony_ranks_agree():
+    """All ranks see near-identical IWS series (section 6.1's argument
+    for showing a single process per graph)."""
+    spec = small_spec(footprint_mb=8, main_mb=4, period=2.0)
+    eng, app, job, lib = run_instrumented(spec, nranks=4, n_iterations=4)
+    series = [lib.records(r).iws_bytes() for r in range(4)]
+    n = min(len(s) for s in series)
+    for r in range(1, 4):
+        diff = abs(series[0][:n] - series[r][:n]).astype(float)
+        assert diff.max() <= max(1, series[0][:n].max()) * 0.2

@@ -1,0 +1,170 @@
+"""Unit tests for the dirty-page tracker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.instrument import DirtyPageTracker, TrackerConfig
+from repro.mem import Layout
+from repro.proc import Process
+from repro.sim import Engine, SimProcess, Timeout
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def make_tracked(timeslice=1.0, **cfg):
+    eng = Engine()
+    proc = Process(eng, layout=Layout(page_size=PS), data_size=8 * PS)
+    tracker = DirtyPageTracker(proc, TrackerConfig(timeslice=timeslice, **cfg))
+    tracker.attach()
+    return eng, proc, tracker
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        TrackerConfig(timeslice=0)
+    with pytest.raises(ConfigurationError):
+        TrackerConfig(fault_cost=-1)
+
+
+def test_attach_protects_data():
+    eng, proc, tracker = make_tracked()
+    assert proc.memory.data.pages.protected.all()
+    with pytest.raises(ConfigurationError):
+        tracker.attach()  # double attach
+
+
+def test_alarm_records_and_resets():
+    eng, proc, tracker = make_tracked(timeslice=1.0)
+
+    def body():
+        proc.memory.cpu_write(proc.memory.data.base, 3 * PS)
+        yield Timeout(1.0)
+        # second slice: write 2 pages (they were re-protected)
+        proc.memory.cpu_write(proc.memory.data.base, 2 * PS)
+        yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=2.0)
+    log = tracker.log
+    assert len(log) == 2
+    assert log.records[0].iws_pages == 3
+    assert log.records[0].faults == 3
+    assert log.records[1].iws_pages == 2
+    assert log.records[1].faults == 2
+    assert log.records[0].t_start == 0.0
+    assert log.records[0].t_end == 1.0
+
+
+def test_rewrite_within_slice_counts_once():
+    eng, proc, tracker = make_tracked()
+
+    def body():
+        for _ in range(5):
+            proc.memory.cpu_write(proc.memory.data.base, 2 * PS)
+        yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=1.0)
+    rec = tracker.log.records[0]
+    assert rec.iws_pages == 2
+    assert rec.faults == 2
+
+
+def test_fault_overhead_charged():
+    eng, proc, tracker = make_tracked(fault_cost=10e-6)
+
+    def body():
+        proc.memory.cpu_write(proc.memory.data.base, 4 * PS)
+        yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=1.0)
+    rec = tracker.log.records[0]
+    assert rec.overhead_time == pytest.approx(4 * 10e-6)
+    assert proc.overhead_time >= 4 * 10e-6
+
+
+def _sleep(t):
+    yield Timeout(t)
+
+
+def test_reprotect_cost_charged_to_next_slice():
+    eng, proc, tracker = make_tracked(fault_cost=0.0,
+                                      reprotect_cost_per_page=1e-6)
+    SimProcess(eng, _sleep(3.0))
+    eng.run(until=3.0)
+    # each alarm re-protects 8 data pages -> 8 us charged to the next slice
+    recs = tracker.log.records
+    assert recs[1].overhead_time == pytest.approx(8e-6)
+
+
+def test_mmap_protected_immediately_when_configured():
+    eng, proc, tracker = make_tracked(protect_on_map=True)
+    seg = proc.mmap(2 * PS)
+    assert seg.pages.protected.all()
+    res = proc.memory.cpu_write(seg.base, PS)
+    assert res.faults == 1
+
+
+def test_mmap_unprotected_when_disabled():
+    eng, proc, tracker = make_tracked(protect_on_map=False)
+    seg = proc.mmap(2 * PS)
+    assert not seg.pages.protected.any()
+    res = proc.memory.cpu_write(seg.base, PS)
+    assert res.faults == 0  # first write unobserved until next alarm
+
+
+def test_memory_exclusion_at_alarm():
+    """Pages of a region unmapped before the alarm vanish from the IWS."""
+    eng, proc, tracker = make_tracked()
+
+    def body():
+        seg = proc.mmap(4 * PS)
+        proc.memory.cpu_write(seg.base, 4 * PS)
+        proc.memory.cpu_write(proc.memory.data.base, PS)
+        proc.munmap(seg.base, 4 * PS)
+        yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=1.0)
+    assert tracker.log.records[0].iws_pages == 1
+
+
+def test_detach_disarms_everything():
+    eng, proc, tracker = make_tracked()
+    tracker.detach()
+    assert proc.next_timer_expiry() is None
+    assert not proc.memory.data.pages.protected.any()
+    res = proc.memory.cpu_write(proc.memory.data.base, PS)
+    assert res.faults == 0
+    eng.run(until=3.0)
+    assert len(tracker.log) == 0
+    tracker.detach()  # idempotent
+
+
+def test_footprint_recorded_per_slice():
+    eng, proc, tracker = make_tracked()
+
+    def body():
+        yield Timeout(1.0)
+        proc.mmap(8 * PS)
+        yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=2.0)
+    fp = tracker.log.footprint_mb()
+    assert fp[1] > fp[0]
+
+
+def test_total_faults_accumulates():
+    eng, proc, tracker = make_tracked()
+
+    def body():
+        for _ in range(3):
+            proc.memory.cpu_write(proc.memory.data.base, 2 * PS)
+            yield Timeout(1.0)
+
+    SimProcess(eng, body())
+    eng.run(until=3.0)
+    assert tracker.total_faults == 6

@@ -1,0 +1,149 @@
+"""Tests for the bytes backend: real page contents through writes,
+mmap surgery, and checkpoint/restore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import FullCheckpointer, IncrementalCheckpointer, restore_address_space
+from repro.errors import MappingError
+from repro.mem import AddressSpace, Layout
+from repro.units import KiB
+
+PS = 16 * KiB
+LAYOUT = Layout(page_size=PS)
+
+
+def make_space(**kw):
+    kw.setdefault("data_size", 4 * PS)
+    kw.setdefault("bss_size", 2 * PS)
+    kw.setdefault("store_contents", True)
+    return AddressSpace(LAYOUT, **kw)
+
+
+def test_write_and_read_bytes():
+    asp = make_space()
+    asp.cpu_write(asp.data.base + 100, 5, data=b"hello")
+    assert asp.read_bytes(asp.data.base + 100, 5) == b"hello"
+    assert asp.read_bytes(asp.data.base, 4) == b"\x00\x00\x00\x00"
+
+
+def test_write_without_data_keeps_backend_content():
+    asp = make_space()
+    asp.cpu_write(asp.data.base, 4, data=b"abcd")
+    asp.cpu_write(asp.data.base, PS)  # metadata-only store
+    assert asp.read_bytes(asp.data.base, 4) == b"abcd"
+
+
+def test_data_size_mismatch_rejected():
+    asp = make_space()
+    with pytest.raises(MappingError):
+        asp.cpu_write(asp.data.base, 8, data=b"four")
+
+
+def test_data_on_signature_backend_rejected():
+    asp = AddressSpace(LAYOUT, data_size=4 * PS)  # store_contents=False
+    with pytest.raises(MappingError):
+        asp.cpu_write(asp.data.base, 4, data=b"data")
+    with pytest.raises(MappingError):
+        asp.read_bytes(asp.data.base, 4)
+
+
+def test_dma_write_carries_bytes():
+    asp = make_space()
+    asp.dma_write(asp.data.base, 3, data=b"dma")
+    assert asp.read_bytes(asp.data.base, 3) == b"dma"
+
+
+def test_heap_growth_zero_fills():
+    asp = make_space()
+    asp.sbrk(2 * PS)
+    asp.cpu_write(asp.heap.base, 2, data=b"hi")
+    asp.sbrk(-PS)
+    asp.sbrk(PS)  # regrow: fresh zeros
+    assert asp.read_bytes(asp.heap.base, 2) == b"hi"
+    assert asp.read_bytes(asp.heap.base + PS, 4) == b"\x00" * 4
+
+
+def test_mmap_contents_and_partial_munmap():
+    asp = make_space()
+    seg = asp.mmap(4 * PS)
+    asp.cpu_write(seg.base, 4 * PS, data=bytes(range(256)) * (4 * PS // 256))
+    head_end = asp.read_bytes(seg.base + 2 * PS - 4, 4)
+    tail_start = asp.read_bytes(seg.base + 3 * PS, 4)
+    # punch out page 2: head keeps pages 0-1, tail keeps page 3
+    asp.munmap(seg.base + 2 * PS, PS)
+    assert asp.read_bytes(seg.base + 2 * PS - 4, 4) == head_end
+    assert asp.read_bytes(seg.base + 3 * PS, 4) == tail_start
+
+
+def test_full_checkpoint_restores_bytes():
+    asp = make_space()
+    asp.cpu_write(asp.data.base, 6, data=b"payload"[:6])
+    asp.sbrk(PS)
+    asp.cpu_write(asp.heap.base, 4, data=b"heap")
+    seg = asp.mmap(PS)
+    asp.cpu_write(seg.base, 4, data=b"mmap")
+    chain = [FullCheckpointer().capture(asp, seq=0)]
+    restored = restore_address_space(chain, layout=LAYOUT)
+    assert restored.store_contents
+    assert restored.read_bytes(restored.data.base, 6) == b"payloa"
+    assert restored.read_bytes(restored.heap.base, 4) == b"heap"
+    assert restored.read_bytes(seg.base, 4) == b"mmap"
+
+
+def test_incremental_chain_restores_bytes():
+    asp = make_space()
+    asp.protect_data()
+    full = FullCheckpointer().capture(asp, seq=0)
+    inc = IncrementalCheckpointer(asp)
+    inc.mark_baseline()
+    asp.cpu_write(asp.data.base, 3, data=b"one")
+    d1 = inc.capture(seq=1)
+    asp.reset_dirty()
+    asp.protect_data()
+    asp.cpu_write(asp.data.base + PS, 3, data=b"two")
+    # overwrite the first page's content again
+    asp.cpu_write(asp.data.base, 3, data=b"TRI")
+    d2 = inc.capture(seq=2)
+    restored = restore_address_space([full, d1, d2], layout=LAYOUT)
+    assert restored.read_bytes(restored.data.base, 3) == b"TRI"
+    assert restored.read_bytes(restored.data.base + PS, 3) == b"two"
+    assert AddressSpace.signatures_equal(asp.state_signature(),
+                                         restored.state_signature())
+
+
+def test_signature_only_chain_restores_without_contents():
+    asp = AddressSpace(LAYOUT, data_size=2 * PS)
+    asp.cpu_write(asp.data.base, PS)
+    chain = [FullCheckpointer().capture(asp, seq=0)]
+    restored = restore_address_space(chain, layout=LAYOUT)
+    assert not restored.store_contents
+    assert restored.data.contents is None
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=5),
+                          st.binary(min_size=1, max_size=64)),
+                min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_property_bytes_roundtrip_through_incremental_chain(writes):
+    """Arbitrary byte writes roundtrip exactly through a full+delta
+    chain (with timeslice resets between deltas)."""
+    asp = make_space(data_size=6 * PS)
+    asp.protect_data()
+    chain = [FullCheckpointer().capture(asp, seq=0)]
+    inc = IncrementalCheckpointer(asp)
+    inc.mark_baseline()
+    seq = 1
+    for i, (page, data) in enumerate(writes):
+        addr = asp.data.base + page * PS
+        asp.cpu_write(addr, len(data), data=data)
+        if i % 3 == 2:
+            chain.append(inc.capture(seq=seq))
+            seq += 1
+            asp.reset_dirty()
+            asp.protect_data()
+    chain.append(inc.capture(seq=seq))
+    restored = restore_address_space(chain, layout=LAYOUT)
+    assert bytes(restored.data.contents) == bytes(asp.data.contents)

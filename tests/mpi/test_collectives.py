@@ -1,0 +1,207 @@
+"""Unit tests for collective operations across communicator sizes,
+including non-powers of two."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mem import Layout
+from repro.mpi import MPIJob
+from repro.proc import Process
+from repro.sim import Engine
+from repro.units import KiB
+
+PS = 16 * KiB
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+def run_collective(nranks, body):
+    eng = Engine()
+    factory = lambda r: Process(eng, name=f"r{r}", layout=Layout(page_size=PS),
+                                data_size=8 * PS)
+    job = MPIJob(eng, nranks, process_factory=factory)
+    results: dict[int, object] = {}
+
+    def rank_body(ctx):
+        value = yield from body(ctx)
+        results[ctx.rank] = value
+
+    procs = job.launch(rank_body)
+    eng.run(detect_deadlock=True)
+    for proc in procs:
+        if proc.exception is not None:
+            raise proc.exception
+    assert len(results) == nranks, "some rank never finished"
+    return results
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_all_ranks_pass(n):
+    def body(ctx):
+        yield from ctx.comm.barrier()
+        return ctx.engine.now
+
+    results = run_collective(n, body)
+    assert len(results) == n
+
+
+def test_barrier_actually_synchronizes():
+    """A rank that enters late holds everyone back."""
+    def body(ctx):
+        from repro.sim import Timeout
+        if ctx.rank == 2:
+            yield Timeout(10.0)
+        yield from ctx.comm.barrier()
+        return ctx.engine.now
+
+    results = run_collective(4, body)
+    assert all(t >= 10.0 for t in results.values())
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_value(n, root):
+    root_rank = n - 1 if root == "last" else 0
+
+    def body(ctx):
+        value = "payload" if ctx.rank == root_rank else None
+        out = yield from ctx.comm.bcast(value, root=root_rank, nbytes=64)
+        return out
+
+    results = run_collective(n, body)
+    assert all(v == "payload" for v in results.values())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sums_at_root(n):
+    def body(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank + 1, root=0, nbytes=8)
+        return out
+
+    results = run_collective(n, body)
+    assert results[0] == n * (n + 1) // 2
+    assert all(results[r] is None for r in range(1, n))
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+def test_reduce_to_nonzero_root(n):
+    root = n - 1
+
+    def body(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank + 1, root=root, nbytes=8)
+        return out
+
+    results = run_collective(n, body)
+    assert results[root] == n * (n + 1) // 2
+    assert all(results[r] is None for r in range(n) if r != root)
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_gather_to_nonzero_root(n):
+    root = 1
+
+    def body(ctx):
+        out = yield from ctx.comm.gather(ctx.rank * 2, root=root)
+        return out
+
+    results = run_collective(n, body)
+    assert results[root] == [r * 2 for r in range(n)]
+    assert results[0] is None
+
+
+def test_collective_bad_root_rejected():
+    def body(ctx):
+        out = yield from ctx.comm.bcast("x", root=5)
+        return out
+
+    from repro.errors import RankError
+    with pytest.raises(RankError):
+        run_collective(2, body)
+
+
+def test_reduce_custom_op():
+    def body(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank + 1, op=max, root=0)
+        return out
+
+    results = run_collective(5, body)
+    assert results[0] == 5
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_everywhere(n):
+    def body(ctx):
+        out = yield from ctx.comm.allreduce(ctx.rank + 1, nbytes=8)
+        return out
+
+    results = run_collective(n, body)
+    expected = n * (n + 1) // 2
+    assert all(v == expected for v in results.values())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather_collects_in_rank_order(n):
+    def body(ctx):
+        out = yield from ctx.comm.gather(f"v{ctx.rank}", root=0, nbytes=16)
+        return out
+
+    results = run_collective(n, body)
+    assert results[0] == [f"v{r}" for r in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather_everyone_sees_all(n):
+    def body(ctx):
+        out = yield from ctx.comm.allgather(ctx.rank * 10, nbytes=8)
+        return out
+
+    results = run_collective(n, body)
+    expected = [r * 10 for r in range(n)]
+    assert all(v == expected for v in results.values())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall_permutes_correctly(n):
+    def body(ctx):
+        values = [f"{ctx.rank}->{d}" for d in range(n)]
+        out = yield from ctx.comm.alltoall(values, nbytes_each=32)
+        return out
+
+    results = run_collective(n, body)
+    for r, out in results.items():
+        assert out == [f"{s}->{r}" for s in range(n)]
+
+
+def test_alltoall_wrong_length_rejected():
+    def body(ctx):
+        out = yield from ctx.comm.alltoall([1, 2, 3], nbytes_each=8)
+        return out
+
+    with pytest.raises(MPIError):
+        run_collective(2, body)
+
+
+def test_back_to_back_collectives_do_not_cross():
+    """Successive collectives use distinct sequence tags."""
+    def body(ctx):
+        a = yield from ctx.comm.allreduce(1)
+        b = yield from ctx.comm.allreduce(ctx.rank)
+        yield from ctx.comm.barrier()
+        c = yield from ctx.comm.bcast("x" if ctx.rank == 0 else None)
+        return (a, b, c)
+
+    n = 4
+    results = run_collective(n, body)
+    for r in range(n):
+        assert results[r] == (n, sum(range(n)), "x")
+
+
+def test_collectives_single_rank_degenerate():
+    def body(ctx):
+        yield from ctx.comm.barrier()
+        a = yield from ctx.comm.bcast("v", root=0)
+        b = yield from ctx.comm.allreduce(3)
+        c = yield from ctx.comm.alltoall(["self"], nbytes_each=4)
+        return (a, b, c)
+
+    results = run_collective(1, body)
+    assert results[0] == ("v", 3, ["self"])

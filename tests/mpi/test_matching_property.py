@@ -1,0 +1,91 @@
+"""Property test: MPI matching semantics against a reference model.
+
+Random interleavings of arrivals and posted receives (with wildcard
+sources/tags) must match exactly like a naive reference implementation
+of the MPI rules: a receive matches the oldest queued message it is
+compatible with; an arrival matches the oldest compatible posted
+receive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIJob
+from repro.net import Message
+from repro.sim import Engine
+
+
+class ReferenceMatcher:
+    """The naive queue-pair model of MPI matching."""
+
+    def __init__(self):
+        self.unexpected = []
+        self.pending = []
+        self.matches = []
+
+    @staticmethod
+    def _compatible(posted, msg):
+        source, tag, rid = posted
+        return ((source == ANY_SOURCE or source == msg.src)
+                and (tag == ANY_TAG or tag == msg.tag))
+
+    def arrive(self, msg):
+        for i, posted in enumerate(self.pending):
+            if self._compatible(posted, msg):
+                self.pending.pop(i)
+                self.matches.append((posted[2], msg.mid))
+                return
+        self.unexpected.append(msg)
+
+    def post(self, source, tag, rid):
+        for i, msg in enumerate(self.unexpected):
+            if self._compatible((source, tag, rid), msg):
+                self.unexpected.pop(i)
+                self.matches.append((rid, msg.mid))
+                return
+        self.pending.append((source, tag, rid))
+
+
+@st.composite
+def interleavings(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            ops.append(("arrive",
+                        draw(st.integers(min_value=0, max_value=2)),  # src
+                        draw(st.integers(min_value=0, max_value=3))))  # tag
+        else:
+            ops.append(("post",
+                        draw(st.sampled_from([ANY_SOURCE, 0, 1, 2])),
+                        draw(st.sampled_from([ANY_TAG, 0, 1, 2, 3]))))
+    return ops
+
+
+@given(interleavings())
+@settings(max_examples=150, deadline=None)
+def test_matching_agrees_with_reference(ops):
+    eng = Engine()
+    job = MPIJob(eng, 4)
+    comm = job.world.comm(3)          # rank 3 receives from 0-2
+    ref = ReferenceMatcher()
+    actual_matches = []
+    rid_counter = [0]
+
+    for op, a, b in ops:
+        if op == "arrive":
+            msg = Message(src=a, dst=3, size=8, tag=b)
+            ref.arrive(msg)
+            comm._on_arrival(msg)
+        else:
+            rid = rid_counter[0]
+            rid_counter[0] += 1
+            fut = comm.recv(source=a, tag=b)
+            fut.add_callback(
+                lambda m, r=rid: actual_matches.append((r, m.mid)))
+            ref.post(a, b, rid)
+
+    assert actual_matches == ref.matches
+    assert len(comm._pending) == len(ref.pending)
+    assert [m.mid for m in comm._unexpected] == \
+        [m.mid for m in ref.unexpected]

@@ -1,0 +1,215 @@
+"""Unit tests for point-to-point messaging semantics."""
+
+import pytest
+
+from repro.errors import MPIError, RankError
+from repro.mem import Layout
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIJob
+from repro.sim import Engine
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def make_job(nranks=2, **kw):
+    eng = Engine()
+    from repro.proc import Process
+    factory = lambda r: Process(eng, name=f"r{r}",
+                                layout=Layout(page_size=PS),
+                                data_size=8 * PS)
+    job = MPIJob(eng, nranks, process_factory=factory, **kw)
+    return eng, job
+
+
+def run(eng, job, *bodies, until=None):
+    """Launch one body per rank and run to completion; returns results."""
+    def factory(ctx):
+        return bodies[ctx.rank](ctx)
+    procs = job.launch(factory)
+    eng.run(until=until, detect_deadlock=until is None)
+    return procs
+
+
+def test_send_recv_basic():
+    eng, job = make_job()
+    got = []
+
+    def sender(ctx):
+        ctx.comm.send(1, 4096, tag=7, payload="hello")
+        yield from ()
+
+    def receiver(ctx):
+        msg = yield ctx.comm.recv(source=0, tag=7)
+        got.append((msg.src, msg.tag, msg.size, msg.payload, ctx.engine.now))
+
+    run(eng, job, sender, receiver)
+    assert len(got) == 1
+    src, tag, size, payload, t = got[0]
+    assert (src, tag, size, payload) == (0, 7, 4096, "hello")
+    assert t > 0  # network latency elapsed
+
+
+def test_recv_posted_before_arrival():
+    eng, job = make_job()
+    got = []
+
+    def sender(ctx):
+        from repro.sim import Timeout
+        yield Timeout(1.0)
+        ctx.comm.send(1, 64, tag=1)
+
+    def receiver(ctx):
+        msg = yield ctx.comm.recv(source=0, tag=1)
+        got.append(ctx.engine.now)
+
+    run(eng, job, sender, receiver)
+    assert got and got[0] >= 1.0
+
+
+def test_unexpected_message_queued_until_recv():
+    eng, job = make_job()
+    got = []
+
+    def sender(ctx):
+        ctx.comm.send(1, 64, tag=3, payload="early")
+        yield from ()
+
+    def receiver(ctx):
+        from repro.sim import Timeout
+        yield Timeout(5.0)  # message arrives long before this
+        msg = yield ctx.comm.recv(source=0, tag=3)
+        got.append((msg.payload, ctx.engine.now))
+
+    run(eng, job, sender, receiver)
+    assert got == [("early", 5.0)]
+
+
+def test_wildcard_source_and_tag():
+    eng, job = make_job(3)
+    got = []
+
+    def sender(ctx):
+        ctx.comm.send(2, 10, tag=ctx.rank + 10)
+        yield from ()
+
+    def receiver(ctx):
+        for _ in range(2):
+            msg = yield ctx.comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            got.append((msg.src, msg.tag))
+
+    run(eng, job, sender, sender, receiver)
+    assert sorted(got) == [(0, 10), (1, 11)]
+
+
+def test_tag_selectivity():
+    eng, job = make_job()
+    got = []
+
+    def sender(ctx):
+        ctx.comm.send(1, 10, tag=1, payload="one")
+        ctx.comm.send(1, 10, tag=2, payload="two")
+        yield from ()
+
+    def receiver(ctx):
+        msg2 = yield ctx.comm.recv(source=0, tag=2)
+        msg1 = yield ctx.comm.recv(source=0, tag=1)
+        got.extend([msg2.payload, msg1.payload])
+
+    run(eng, job, sender, receiver)
+    assert got == ["two", "one"]
+
+
+def test_same_pair_same_tag_fifo_order():
+    eng, job = make_job()
+    got = []
+
+    def sender(ctx):
+        for i in range(5):
+            ctx.comm.send(1, 100, tag=0, payload=i)
+        yield from ()
+
+    def receiver(ctx):
+        for _ in range(5):
+            msg = yield ctx.comm.recv(source=0, tag=0)
+            got.append(msg.payload)
+
+    run(eng, job, sender, receiver)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_recv_with_buffer_dirties_pages_when_intercepted():
+    eng, job = make_job()
+    seen = []
+
+    def sender(ctx):
+        ctx.comm.send(1, 2 * PS, tag=0)
+        yield from ()
+
+    def receiver(ctx):
+        ctx.process.mprotect_data()
+        ctx.comm.recv_interceptor = lambda msg: True  # bounce-buffer path
+        msg = yield ctx.comm.recv(source=0, tag=0,
+                                  addr=ctx.memory.data.base, size=2 * PS)
+        seen.append(ctx.memory.dirty_pages())
+
+    run(eng, job, sender, receiver)
+    assert seen == [2]
+
+
+def test_recv_buffer_overflow_rejected():
+    eng, job = make_job()
+
+    def sender(ctx):
+        ctx.comm.send(1, 4 * PS, tag=0)
+        yield from ()
+
+    def receiver(ctx):
+        yield ctx.comm.recv(source=0, tag=0, addr=ctx.memory.data.base,
+                            size=PS)
+
+    with pytest.raises(MPIError):
+        run(eng, job, sender, receiver)
+
+
+def test_receive_listener_fires():
+    eng, job = make_job()
+    events = []
+
+    def sender(ctx):
+        ctx.comm.send(1, 128, tag=0)
+        yield from ()
+
+    def receiver(ctx):
+        ctx.comm.receive_listeners.append(lambda m: events.append(m.size))
+        yield ctx.comm.recv(source=0, tag=0)
+
+    run(eng, job, sender, receiver)
+    assert events == [128]
+
+
+def test_rank_validation():
+    eng, job = make_job()
+    comm = job.world.comm(0)
+    with pytest.raises(RankError):
+        comm.send(5, 10)
+    with pytest.raises(RankError):
+        comm.recv(source=5)
+    with pytest.raises(MPIError):
+        comm.send(1, 10, tag=-3)
+    with pytest.raises(RankError):
+        job.world.comm(9)
+
+
+def test_bytes_accounting():
+    eng, job = make_job()
+
+    def sender(ctx):
+        ctx.comm.send(1, 1000, tag=0)
+        yield from ()
+
+    def receiver(ctx):
+        yield ctx.comm.recv(source=0, tag=0)
+
+    run(eng, job, sender, receiver)
+    assert job.world.comm(0).bytes_sent == 1000
+    assert job.world.comm(1).bytes_received == 1000

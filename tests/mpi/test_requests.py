@@ -1,0 +1,101 @@
+"""Unit tests for nonblocking requests (isend/irecv/waitall)."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mem import Layout
+from repro.mpi import MPIJob, wait_all
+from repro.proc import Process
+from repro.sim import Engine, Timeout
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def make_job(nranks=2):
+    eng = Engine()
+    factory = lambda r: Process(eng, name=f"r{r}",
+                                layout=Layout(page_size=PS),
+                                data_size=8 * PS)
+    return eng, MPIJob(eng, nranks, process_factory=factory)
+
+
+def run(eng, job, *bodies):
+    procs = job.launch(lambda ctx: bodies[ctx.rank](ctx))
+    eng.run(detect_deadlock=True)
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+
+
+def test_isend_completes_immediately():
+    eng, job = make_job()
+    states = []
+
+    def sender(ctx):
+        req = ctx.comm.isend(1, 128, tag=0, payload="x")
+        states.append(req.test())
+        yield req.wait()
+
+    def receiver(ctx):
+        yield ctx.comm.recv(source=0, tag=0)
+
+    run(eng, job, sender, receiver)
+    assert states == [True]
+
+
+def test_irecv_overlap_with_computation():
+    """The overlap idiom: post the receive, compute, then wait."""
+    eng, job = make_job()
+    timeline = []
+
+    def sender(ctx):
+        yield Timeout(1.0)
+        ctx.comm.send(1, 256, tag=5, payload="data")
+
+    def receiver(ctx):
+        req = ctx.comm.irecv(source=0, tag=5)
+        timeline.append(("posted", req.test()))
+        yield Timeout(2.0)       # "compute" while the message arrives
+        timeline.append(("computed", req.test()))
+        msg = yield req.wait()
+        timeline.append(("got", msg.payload))
+
+    run(eng, job, sender, receiver)
+    assert timeline == [("posted", False), ("computed", True),
+                        ("got", "data")]
+
+
+def test_request_value_before_completion_raises():
+    eng, job = make_job()
+
+    def receiver(ctx):
+        req = ctx.comm.irecv(source=0, tag=1)
+        with pytest.raises(MPIError):
+            _ = req.value
+        ctx.comm.send(0, 1, tag=9)  # unblock the other side
+        msg = yield req.wait()
+        assert req.value is msg
+
+    def sender(ctx):
+        yield ctx.comm.recv(source=1, tag=9)
+        ctx.comm.send(1, 64, tag=1)
+
+    run(eng, job, sender, receiver)
+
+
+def test_wait_all_gathers_multiple_receives():
+    eng, job = make_job(3)
+    got = []
+
+    def sender(ctx):
+        ctx.comm.send(2, 100, tag=0, payload=f"from{ctx.rank}")
+        yield from ()
+
+    def receiver(ctx):
+        reqs = [ctx.comm.irecv(source=s, tag=0) for s in (0, 1)]
+        msgs = yield wait_all(ctx.engine, reqs)
+        got.extend(m.payload for m in msgs)
+
+    run(eng, job, sender, sender, receiver)
+    assert sorted(got) == ["from0", "from1"]

@@ -1,0 +1,113 @@
+"""Unit tests for job construction, topology mapping, hooks, and
+failure injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import MPIJob
+from repro.mpi.runtime import RankTopology
+from repro.sim import Engine, Timeout
+
+
+def test_rank_topology_colocated_ranks_zero_hops():
+    topo = RankTopology(8, procs_per_node=2)
+    assert topo.hops(0, 1) == 0     # same node
+    assert topo.hops(0, 2) > 0      # different nodes
+    assert topo.hops(3, 3) == 0
+
+
+def test_rank_topology_node_count():
+    topo = RankTopology(7, procs_per_node=2)
+    assert topo.nnodes == 4
+
+
+def test_rank_topology_validation():
+    with pytest.raises(ConfigurationError):
+        RankTopology(4, procs_per_node=0)
+
+
+def test_job_validation():
+    with pytest.raises(ConfigurationError):
+        MPIJob(Engine(), 0)
+    job = MPIJob(Engine(), 2)
+    with pytest.raises(ConfigurationError):
+        job.fail_rank(5)
+
+
+def test_init_and_fini_hooks_run_in_order():
+    eng = Engine()
+    job = MPIJob(eng, 2)
+    events = []
+    job.init_hooks.append(lambda ctx: events.append(("init-a", ctx.rank)))
+    job.init_hooks.append(lambda ctx: events.append(("init-b", ctx.rank)))
+    job.fini_hooks.append(lambda ctx: events.append(("fini", ctx.rank)))
+
+    def body(ctx):
+        events.append(("body", ctx.rank))
+        yield Timeout(1.0)
+
+    job.launch(body)
+    eng.run()
+    for rank in (0, 1):
+        rank_events = [e for e, r in events if r == rank]
+        assert rank_events == ["init-a", "init-b", "body", "fini"]
+
+
+def test_fini_hooks_run_on_kill():
+    eng = Engine()
+    job = MPIJob(eng, 1)
+    events = []
+    job.fini_hooks.append(lambda ctx: events.append("fini"))
+
+    def body(ctx):
+        yield Timeout(100.0)
+
+    job.launch(body)
+    eng.schedule(1.0, job.fail_rank, 0)
+    eng.run()
+    assert events == ["fini"]
+
+
+def test_fail_rank_detaches_nic():
+    eng = Engine()
+    job = MPIJob(eng, 2)
+    received = []
+
+    def sender(ctx):
+        yield Timeout(2.0)
+        ctx.comm.send(1, 100, tag=0)
+
+    def receiver(ctx):
+        ctx.comm.receive_listeners.append(lambda m: received.append(m))
+        msg = yield ctx.comm.recv(source=0, tag=0)
+
+    def factory(ctx):
+        return sender(ctx) if ctx.rank == 0 else receiver(ctx)
+
+    job.launch(factory)
+    eng.schedule(1.0, job.fail_rank, 1)
+    eng.run()
+    assert received == []  # message to the dead rank vanished
+
+
+def test_launch_subset_of_ranks():
+    eng = Engine()
+    job = MPIJob(eng, 3)
+    started = []
+
+    def body(ctx):
+        started.append(ctx.rank)
+        yield Timeout(0.0)
+
+    procs = job.launch(body, ranks=[0, 2])
+    eng.run()
+    assert sorted(started) == [0, 2]
+    assert len(procs) == 2
+
+
+def test_contexts_expose_memory():
+    eng = Engine()
+    job = MPIJob(eng, 1)
+    ctx = job.contexts[0]
+    assert ctx.memory is ctx.process.memory
+    assert ctx.node == 0

@@ -1,0 +1,62 @@
+"""Property tests for network timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LinkSpec, Message, Network
+from repro.sim import Engine
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                          st.integers(min_value=0, max_value=3),
+                          st.integers(min_value=1, max_value=10_000)),
+                min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_arrivals_respect_physics_and_fifo(sends):
+    """Every message arrives no earlier than send + wire latency +
+    serialization, and same-pair messages arrive in send order."""
+    eng = Engine()
+    spec = LinkSpec("t", bandwidth=1000.0, latency=0.5)
+    net = Network(eng, 4, spec=spec)
+    deliveries: dict[int, list[Message]] = {n: [] for n in range(4)}
+    for n in range(4):
+        net.attach(n, deliveries[n].append)
+
+    msgs = []
+    for src, dst, size in sends:
+        m = Message(src=src, dst=dst, size=size)
+        net.send(m)
+        msgs.append(m)
+    eng.run()
+
+    for m in msgs:
+        min_time = m.size / spec.bandwidth
+        if m.src != m.dst:
+            min_time += spec.latency
+        assert m.arrival_time >= m.send_time + min_time - 1e-9
+    # FIFO per (src, dst) pair
+    for src in range(4):
+        for dst in range(4):
+            pair = [m for m in msgs if m.src == src and m.dst == dst]
+            arrivals = [m.arrival_time for m in pair]
+            assert arrivals == sorted(arrivals)
+    # everything delivered exactly once
+    assert sum(len(v) for v in deliveries.values()) == len(msgs)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5000), min_size=2,
+                max_size=20))
+@settings(max_examples=80, deadline=None)
+def test_single_pair_throughput_bounded_by_bandwidth(sizes):
+    """A stream between one pair cannot beat the link bandwidth."""
+    eng = Engine()
+    spec = LinkSpec("t", bandwidth=1000.0, latency=0.01)
+    net = Network(eng, 2, spec=spec)
+    net.attach(1, lambda m: None)
+    msgs = [Message(src=0, dst=1, size=s) for s in sizes]
+    for m in msgs:
+        net.send(m)
+    eng.run()
+    total = sum(sizes)
+    elapsed = max(m.arrival_time for m in msgs)
+    assert total / elapsed <= spec.bandwidth * (1 + 1e-9)

@@ -1,0 +1,114 @@
+"""Unit tests for the simulated UNIX process."""
+
+import pytest
+
+from repro.errors import ProtectionError, SignalError
+from repro.mem import Layout, SegmentKind
+from repro.proc import Process, Signal
+from repro.sim import Engine
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def make_proc(engine=None, **kw):
+    kw.setdefault("data_size", 4 * PS)
+    kw.setdefault("bss_size", 2 * PS)
+    return Process(engine or Engine(), layout=Layout(page_size=PS), **kw)
+
+
+def test_segv_handler_receives_faults():
+    proc = make_proc()
+    hits = []
+    proc.sigaction(Signal.SIGSEGV, lambda seg, lo, hi, n: hits.append((seg.kind, n)))
+    proc.mprotect_data()
+    proc.memory.cpu_write(proc.memory.data.base, 2 * PS)
+    assert hits == [(SegmentKind.DATA, 2)]
+
+
+def test_sigaction_removal():
+    proc = make_proc()
+    hits = []
+    proc.sigaction(Signal.SIGSEGV, lambda *a: hits.append(a))
+    proc.sigaction(Signal.SIGSEGV, None)
+    proc.mprotect_data()
+    proc.memory.cpu_write(proc.memory.data.base, PS)
+    assert hits == []
+
+
+def test_sigaction_bad_signal():
+    proc = make_proc()
+    with pytest.raises(SignalError):
+        proc.sigaction(99, lambda: None)  # type: ignore[arg-type]
+
+
+def test_setitimer_delivers_sigalrm():
+    eng = Engine()
+    proc = make_proc(eng)
+    ticks = []
+    proc.sigaction(Signal.SIGALRM, lambda i: ticks.append((eng.now, i)))
+    proc.setitimer(1.0)
+    eng.run(until=3.0)
+    assert ticks == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_setitimer_rearm_cancels_previous():
+    eng = Engine()
+    proc = make_proc(eng)
+    ticks = []
+    proc.sigaction(Signal.SIGALRM, lambda i: ticks.append(eng.now))
+    proc.setitimer(1.0)
+    proc.setitimer(2.0)  # re-arm
+    eng.run(until=4.0)
+    assert ticks == [2.0, 4.0]
+
+
+def test_next_timer_expiry():
+    eng = Engine()
+    proc = make_proc(eng)
+    assert proc.next_timer_expiry() is None
+    proc.setitimer(5.0)
+    assert proc.next_timer_expiry() == 5.0
+    proc.cancel_itimer()
+    assert proc.next_timer_expiry() is None
+
+
+def test_alarm_without_handler_is_silent():
+    eng = Engine()
+    proc = make_proc(eng)
+    proc.setitimer(1.0)
+    eng.run(until=2.0)  # no handler installed; nothing raises
+
+
+def test_brk_sets_absolute_break():
+    proc = make_proc()
+    base = proc.memory.brk
+    proc.brk(base + 3 * PS)
+    assert proc.memory.brk == base + 3 * PS
+
+
+def test_mprotect_data_protects_everything_but_stack_and_text():
+    proc = make_proc()
+    seg = proc.mmap(2 * PS)
+    npages = proc.mprotect_data()
+    assert npages == (4 + 2 + 0 + 2)  # data + bss + heap(empty) + mmap
+    assert seg.pages.protected.all()
+    assert not proc.memory.stack.pages.protected.any()
+    assert not proc.memory.text.pages.protected.any()
+    proc.mprotect_data(readonly=False)
+    assert not seg.pages.protected.any()
+
+
+def test_mprotect_stack_rejected():
+    """Section 4.2: the stack cannot be write-protected."""
+    proc = make_proc()
+    with pytest.raises(ProtectionError):
+        proc.mprotect(proc.memory.stack, 0, 1)
+
+
+def test_mprotect_range():
+    proc = make_proc()
+    proc.mprotect(proc.memory.data, 1, 3)
+    assert list(proc.memory.data.pages.protected) == [False, True, True, False]
+    proc.mprotect(proc.memory.data, 1, 2, readonly=False)
+    assert list(proc.memory.data.pages.protected) == [False, False, True, False]

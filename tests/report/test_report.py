@@ -1,0 +1,84 @@
+"""Tests for report rendering and the report generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import ascii_series, generate_report, sparkline, tsv_series
+
+
+# -- render helpers ------------------------------------------------------------------
+
+def test_sparkline_basic():
+    line = sparkline([0, 5, 10], width=3)
+    assert len(line) == 3
+    assert line[0] == " " and line[-1] == "@"
+
+
+def test_sparkline_empty_and_flat():
+    assert sparkline([]) == ""
+    assert sparkline([0, 0, 0], width=3) == "   "
+
+
+def test_sparkline_downsamples_with_max_pooling():
+    values = [0] * 50 + [10] + [0] * 49
+    line = sparkline(values, width=10)
+    assert "@" in line  # the spike survives pooling
+
+
+def test_ascii_series_shape():
+    art = ascii_series([1, 2, 3, 4], width=4, height=3, label="t")
+    lines = art.splitlines()
+    assert lines[0].startswith("t (peak 4")
+    assert len(lines) == 1 + 3 + 1  # label + rows + axis
+
+
+def test_ascii_series_empty():
+    assert "empty" in ascii_series([], label="x")
+
+
+def test_render_width_validation():
+    with pytest.raises(ConfigurationError):
+        sparkline([1, 2], width=0)
+
+
+def test_tsv_series_roundtrip():
+    text = tsv_series({"a": [1, 2], "b": [0.5, 1.25]})
+    lines = text.strip().splitlines()
+    assert lines[0] == "a\tb"
+    assert lines[1] == "1\t0.5"
+    assert lines[2] == "2\t1.25"
+
+
+def test_tsv_series_validation():
+    with pytest.raises(ConfigurationError):
+        tsv_series({})
+    with pytest.raises(ConfigurationError):
+        tsv_series({"a": [1], "b": [1, 2]})
+
+
+# -- generator --------------------------------------------------------------------------
+
+def test_generate_quick_report(tmp_path):
+    path = generate_report(tmp_path / "rep", nranks=2, quick=True)
+    text = path.read_text()
+    # every section present
+    for heading in ("Table 1", "Tables 2 and 4", "Fig 1", "Fig 2",
+                    "Figs 3-4", "Fig 5", "Section 6.3", "Section 6.6"):
+        assert heading in text, heading
+    # all nine applications in the main table
+    for name in ("sage-1000MB", "sweep3d", "ft"):
+        assert name in text
+    assert "FEASIBLE" in text
+    # data series written
+    for fname in ("fig1.tsv", "fig2.tsv", "fig3_fig4.tsv", "fig5.tsv"):
+        tsv = (tmp_path / "rep" / fname).read_text()
+        assert len(tsv.splitlines()) >= 3, fname
+
+
+def test_cli_report(tmp_path):
+    import io
+    from repro.cli import main
+    out = io.StringIO()
+    code = main(["report", "--out", str(tmp_path / "r"), "--quick"], out=out)
+    assert code == 0
+    assert "report written" in out.getvalue()

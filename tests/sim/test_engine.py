@@ -1,0 +1,142 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ClockError, DeadlockError
+from repro.sim import Engine, PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_TIMER, SimProcess, Timeout
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_clock_custom_start():
+    eng = Engine(start_time=5.0)
+    assert eng.now == 5.0
+
+
+def test_schedule_and_run_order():
+    eng = Engine()
+    order = []
+    eng.schedule(2.0, order.append, "b")
+    eng.schedule(1.0, order.append, "a")
+    eng.schedule(3.0, order.append, "c")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_same_time_priority_ordering():
+    eng = Engine()
+    order = []
+    eng.schedule(1.0, order.append, "normal", priority=PRIORITY_NORMAL)
+    eng.schedule(1.0, order.append, "timer", priority=PRIORITY_TIMER)
+    eng.schedule(1.0, order.append, "late", priority=PRIORITY_LATE)
+    eng.run()
+    assert order == ["timer", "normal", "late"]
+
+
+def test_same_time_same_priority_fifo():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(1.0, order.append, i)
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(ClockError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    eng.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, "early")
+    eng.schedule(10.0, fired.append, "late")
+    eng.run(until=5.0)
+    assert fired == ["early"]
+    assert eng.now == 5.0  # clock advanced to `until`
+    eng.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    eng = Engine()
+    eng.run(until=7.5)
+    assert eng.now == 7.5
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    order = []
+
+    def outer():
+        order.append("outer")
+        eng.schedule(1.0, order.append, "inner")
+
+    eng.schedule(1.0, outer)
+    eng.run()
+    assert order == ["outer", "inner"]
+    assert eng.now == 2.0
+
+
+def test_step_returns_false_on_empty_queue():
+    eng = Engine()
+    assert eng.step() is False
+    eng.schedule(1.0, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_pending_events_counts_only_live():
+    eng = Engine()
+    ev1 = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.pending_events() == 2
+    ev1.cancel()
+    assert eng.pending_events() == 1
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert eng.peek_time() == 2.0
+
+
+def test_deadlock_detection():
+    eng = Engine()
+
+    def body():
+        from repro.sim import Future
+        yield Future(eng, label="never")
+
+    SimProcess(eng, body(), name="stuck")
+    with pytest.raises(DeadlockError):
+        eng.run(detect_deadlock=True)
+
+
+def test_no_deadlock_when_processes_finish():
+    eng = Engine()
+
+    def body():
+        yield Timeout(1.0)
+
+    SimProcess(eng, body(), name="ok")
+    eng.run(detect_deadlock=True)  # should not raise

@@ -1,0 +1,66 @@
+"""Property tests for the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False),
+                          st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=60))
+@settings(max_examples=150)
+def test_events_fire_in_time_priority_insertion_order(events):
+    eng = Engine()
+    fired = []
+    for seq, (t, prio) in enumerate(events):
+        eng.schedule_at(t, fired.append, (t, prio, seq), priority=prio)
+    eng.run()
+    assert fired == sorted(fired)  # lexicographic == (time, prio, seq)
+    assert len(fired) == len(events)
+    assert eng.now == max(t for t, _ in events)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=30),
+       st.data())
+@settings(max_examples=100)
+def test_nested_scheduling_preserves_order(delays, data):
+    """Events scheduled from inside handlers still fire in global time
+    order."""
+    eng = Engine()
+    fired = []
+
+    def handler(t):
+        fired.append(t)
+        extra = data.draw(st.floats(min_value=0.01, max_value=5.0,
+                                    allow_nan=False),
+                          label="extra-delay")
+        eng.schedule(extra, fired.append, t + extra)
+
+    for d in delays:
+        eng.schedule(d, handler, d)
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == 2 * len(delays)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=2, max_size=40),
+       st.data())
+@settings(max_examples=100)
+def test_cancellation_never_disturbs_survivors(times, data):
+    eng = Engine()
+    fired = []
+    events = [eng.schedule_at(t, fired.append, i)
+              for i, t in enumerate(times)]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(times) - 1)),
+        label="cancel-set")
+    for i in to_cancel:
+        events[i].cancel()
+    eng.run()
+    survivors = [i for i in range(len(times)) if i not in to_cancel]
+    expected = sorted(survivors, key=lambda i: (times[i], i))
+    assert fired == expected

@@ -1,0 +1,94 @@
+"""Unit tests for interval timers (the setitimer model)."""
+
+import pytest
+
+from repro.errors import SignalError
+from repro.sim import Engine, IntervalTimer, SimProcess, Timeout
+
+
+def test_periodic_expiry_times():
+    eng = Engine()
+    fired = []
+    IntervalTimer(eng, 1.0, lambda i: fired.append((eng.now, i)))
+    eng.run(until=3.5)
+    assert fired == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_start_after_overrides_first_expiry():
+    eng = Engine()
+    fired = []
+    IntervalTimer(eng, 2.0, lambda i: fired.append(eng.now), start_after=0.5)
+    eng.run(until=5.0)
+    assert fired == [0.5, 2.5, 4.5]
+
+
+def test_next_expiry_query():
+    eng = Engine()
+    t = IntervalTimer(eng, 1.0, lambda i: None)
+    assert t.next_expiry() == 1.0
+    eng.run(until=1.0)
+    assert t.next_expiry() == 2.0
+
+
+def test_cancel_stops_expiries():
+    eng = Engine()
+    fired = []
+    t = IntervalTimer(eng, 1.0, lambda i: fired.append(eng.now))
+    eng.schedule(2.5, t.cancel)
+    eng.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert t.next_expiry() is None
+    assert not t.armed
+
+
+def test_reset_changes_interval():
+    eng = Engine()
+    fired = []
+    t = IntervalTimer(eng, 1.0, lambda i: fired.append(eng.now))
+    eng.schedule(2.0, t.reset, 5.0)
+    eng.run(until=10.0)
+    assert fired == [1.0, 2.0, 7.0]
+
+
+def test_nonpositive_interval_rejected():
+    eng = Engine()
+    with pytest.raises(SignalError):
+        IntervalTimer(eng, 0.0, lambda i: None)
+    t = IntervalTimer(eng, 1.0, lambda i: None)
+    with pytest.raises(SignalError):
+        t.reset(-1.0)
+
+
+def test_expiry_counter_increments():
+    eng = Engine()
+    t = IntervalTimer(eng, 0.5, lambda i: None)
+    eng.run(until=2.0)
+    assert t.expiries == 4
+
+
+def test_timer_fires_before_process_wakeup_at_same_instant():
+    """The alarm must observe writes made before the boundary -- the
+    ordering the paper's SIGALRM sampling relies on."""
+    eng = Engine()
+    order = []
+
+    IntervalTimer(eng, 1.0, lambda i: order.append("alarm"))
+
+    def body():
+        yield Timeout(1.0)
+        order.append("process")
+
+    SimProcess(eng, body())
+    eng.run(until=1.0)
+    assert order == ["alarm", "process"]
+
+
+def test_handler_exception_propagates():
+    eng = Engine()
+
+    def bad_handler(i):
+        raise ValueError("handler blew up")
+
+    IntervalTimer(eng, 1.0, bad_handler)
+    with pytest.raises(ValueError):
+        eng.run(until=2.0)

@@ -1,0 +1,119 @@
+"""Unit tests for disk and array models."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.sim import Engine, SimProcess
+from repro.storage import Disk, DiskSpec, SCSI_ULTRA320, StorageArray
+from repro.units import MiB
+
+
+def test_diskspec_write_time():
+    spec = DiskSpec("t", bandwidth=100.0, seek_latency=1.0)
+    assert spec.write_time(200) == pytest.approx(3.0)
+    assert spec.write_time(0) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        spec.write_time(-1)
+
+
+def test_diskspec_validation():
+    with pytest.raises(ConfigurationError):
+        DiskSpec("bad", bandwidth=0, seek_latency=0)
+    with pytest.raises(ConfigurationError):
+        DiskSpec("bad", bandwidth=1, seek_latency=-1)
+
+
+def test_scsi_spec_matches_paper():
+    assert SCSI_ULTRA320.bandwidth == 320 * MiB
+
+
+def test_disk_write_completion_time():
+    eng = Engine()
+    disk = Disk(eng, DiskSpec("t", bandwidth=100.0, seek_latency=1.0))
+    fut = disk.write(100)
+    eng.run()
+    assert fut.resolved
+    assert fut.value == pytest.approx(2.0)
+    assert disk.bytes_written == 100
+    assert disk.ops == 1
+
+
+def test_disk_writes_serialize():
+    eng = Engine()
+    disk = Disk(eng, DiskSpec("t", bandwidth=100.0, seek_latency=1.0))
+    f1 = disk.write(100)   # completes at 2
+    f2 = disk.write(100)   # starts at 2, completes at 4
+    assert disk.queue_delay() == pytest.approx(4.0)
+    eng.run()
+    assert f1.value == pytest.approx(2.0)
+    assert f2.value == pytest.approx(4.0)
+
+
+def test_disk_negative_write_rejected():
+    eng = Engine()
+    disk = Disk(eng)
+    with pytest.raises(StorageError):
+        disk.write(-1)
+
+
+def test_disk_utilization():
+    eng = Engine()
+    disk = Disk(eng, DiskSpec("t", bandwidth=100.0, seek_latency=0.0))
+    disk.write(100)
+    eng.run(until=2.0)
+    assert disk.utilization(2.0) == pytest.approx(0.5)
+    with pytest.raises(StorageError):
+        disk.utilization(0.0)
+
+
+def test_process_can_block_on_disk_write():
+    eng = Engine()
+    disk = Disk(eng, DiskSpec("t", bandwidth=100.0, seek_latency=1.0))
+    done = []
+
+    def body():
+        yield disk.write(100)
+        done.append(eng.now)
+
+    SimProcess(eng, body())
+    eng.run()
+    assert done == [pytest.approx(2.0)]
+
+
+# -- array --------------------------------------------------------------------
+
+def test_array_aggregate_bandwidth():
+    eng = Engine()
+    arr = StorageArray(eng, 4, DiskSpec("t", bandwidth=100.0, seek_latency=0.0))
+    assert arr.aggregate_bandwidth() == pytest.approx(400.0)
+
+
+def test_array_striping_speeds_up_large_writes():
+    eng = Engine()
+    spec = DiskSpec("t", bandwidth=100.0, seek_latency=0.0)
+    single = Disk(eng, spec)
+    arr = StorageArray(eng, 4, spec, stripe_unit=100)
+    f_single = single.write(800)
+    f_arr = arr.write(800)
+    eng.run()
+    assert f_single.value == pytest.approx(8.0)
+    assert f_arr.value == pytest.approx(2.0)  # 2 chunks per disk
+    assert arr.bytes_written() == 800
+
+
+def test_array_zero_byte_write_resolves_immediately():
+    eng = Engine()
+    arr = StorageArray(eng, 2)
+    fut = arr.write(0)
+    assert fut.resolved
+
+
+def test_array_validation():
+    eng = Engine()
+    with pytest.raises(StorageError):
+        StorageArray(eng, 0)
+    with pytest.raises(StorageError):
+        StorageArray(eng, 2, stripe_unit=0)
+    arr = StorageArray(eng, 2)
+    with pytest.raises(StorageError):
+        arr.write(-1)

@@ -1,0 +1,122 @@
+"""Assorted cross-module edge cases that none of the focused suites own."""
+
+import pytest
+
+from repro.errors import ClockError, ConfigurationError, MappingError
+from repro.mem import AddressSpace, Layout
+from repro.net import Topology
+from repro.proc import Process
+from repro.sim import Engine, Future, IntervalTimer, SimProcess, Timeout
+from repro.units import KiB
+
+PS = 16 * KiB
+
+
+def test_schedule_at_exactly_now_is_allowed():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: eng.schedule_at(eng.now, fired.append, "x"))
+    eng.run()
+    assert fired == ["x"]
+
+
+def test_run_until_in_the_past_is_noop_for_clock():
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    assert eng.now == 5.0
+    eng.run(until=1.0)  # earlier than now: nothing to do, clock untouched
+    assert eng.now == 5.0
+
+
+def test_zero_delay_timeout_resumes_same_instant():
+    eng = Engine()
+    stamps = []
+
+    def body():
+        stamps.append(eng.now)
+        yield Timeout(0.0)
+        stamps.append(eng.now)
+
+    SimProcess(eng, body())
+    eng.run()
+    assert stamps == [0.0, 0.0]
+
+
+def test_future_callback_added_after_resolution_fires_inline():
+    eng = Engine()
+    fut = Future(eng)
+    fut.resolve(7)
+    got = []
+    fut.add_callback(got.append)
+    assert got == [7]
+
+
+def test_interval_timer_smaller_than_float_noise_still_monotonic():
+    eng = Engine()
+    times = []
+    IntervalTimer(eng, 0.1, lambda i: times.append(eng.now))
+    eng.run(until=1.0)
+    assert len(times) == 10
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_mmap_area_reuse_after_unmap():
+    asp = AddressSpace(Layout(page_size=PS), data_size=PS)
+    a = asp.mmap(2 * PS)
+    base_a = a.base
+    asp.munmap(base_a, 2 * PS)
+    # cursor wraps and finds the hole again eventually; at minimum the
+    # new mapping must not overlap anything live
+    b = asp.mmap(2 * PS)
+    for seg in asp.segments():
+        if seg is not b:
+            assert not seg.overlaps(b.base, b.size)
+
+
+def test_mmap_fixed_rejects_overlap_and_misalignment():
+    asp = AddressSpace(Layout(page_size=PS), data_size=PS)
+    seg = asp.mmap(2 * PS)
+    with pytest.raises(MappingError):
+        asp.mmap_fixed(seg.base, PS)
+    with pytest.raises(MappingError):
+        asp.mmap_fixed(asp.layout.mmap_base + 1, PS)
+    with pytest.raises(MappingError):
+        asp.mmap_fixed(asp.layout.mmap_limit, PS)  # outside the area
+
+
+def test_topology_radix_two_fat_tree():
+    topo = Topology(9, shape="fat-tree", radix=2)
+    assert topo.diameter() >= 2
+    for a in range(9):
+        for b in range(9):
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+
+def test_process_with_zero_sized_data_segments():
+    proc = Process(Engine(), layout=Layout(page_size=PS))
+    assert proc.memory.data_footprint() == 0
+    assert proc.mprotect_data() == 0
+    assert proc.memory.dirty_pages() == 0
+
+
+def test_schedule_in_past_message_names_times():
+    eng = Engine()
+    eng.schedule(2.0, lambda: None)
+    eng.run()
+    with pytest.raises(ClockError) as err:
+        eng.schedule_at(1.0, lambda: None)
+    assert "1.0" in str(err.value) and "2.0" in str(err.value)
+
+
+def test_experiment_single_rank_no_comm():
+    """A 1-rank job with a comm-ful spec degenerates cleanly (no
+    neighbours, no reduction partner)."""
+    from repro.apps.synthetic import small_spec
+    from repro.cluster.experiment import ExperimentConfig, run_experiment
+    spec = small_spec(period=1.0, comm_mb=1.0, pattern="grid2d",
+                      global_reduction=True)
+    res = run_experiment(ExperimentConfig(spec=spec, nranks=1,
+                                          timeslice=0.5, run_duration=4.0))
+    assert res.iterations >= 3
+    assert res.ib().avg_mbps > 0

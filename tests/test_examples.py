@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in-process (fresh globals via runpy) with
+argv pinned to its fast configuration.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "FEASIBLE" in out
+    assert "incremental bandwidth" in out
+
+
+def test_sage_feasibility_study(capsys):
+    run_example("sage_feasibility_study.py", ["50"])
+    out = capsys.readouterr().out
+    assert "Fig 2(a)" in out
+    assert "section 6.6" in out
+    assert "feasible" in out
+
+
+def test_failure_recovery(capsys):
+    run_example("failure_recovery.py")
+    out = capsys.readouterr().out
+    assert "VERIFIED identical" in out
+    assert "restored state verified" in out
+    assert "completed cleanly" in out
+
+
+def test_custom_application(capsys):
+    run_example("custom_application.py")
+    out = capsys.readouterr().out
+    assert "ocean-model" in out
+    assert "FEASIBLE" in out
+
+
+def test_checkpoint_planning(capsys):
+    run_example("checkpoint_planning.py")
+    out = capsys.readouterr().out
+    assert "burst-aware plan" in out
+    assert "copy-on-write exposure" in out
+
+
+def test_scaling_study(capsys):
+    run_example("scaling_study.py")
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+    assert "65536 nodes" in out
+
+
+def test_cli_feasibility_runs_all_apps():
+    import io
+    from repro.cli import main
+    out = io.StringIO()
+    code = main(["feasibility", "--ranks", "2", "--years", "2"], out=out)
+    text = out.getvalue()
+    assert code == 0
+    assert text.count("FEASIBLE") >= 9
+    assert "trend extrapolation" in text

@@ -1,0 +1,81 @@
+"""The paper's section 8 conclusions, as executable assertions.
+
+Guards the reproduction as a whole: if any refactor breaks one of the
+claims the paper closes on, this module -- not just a benchmark -- fails.
+"""
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.cluster.experiment import paper_config, run_experiment, run_uninstrumented
+from repro.feasibility import FeasibilityAnalyzer
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def one_second_runs():
+    return {name: run_experiment(paper_config(name, nranks=2, timeslice=1.0))
+            for name in PAPER_APPS}
+
+
+def test_conclusion_under_100mbps_average(one_second_runs):
+    """'the average bandwidth per process required to checkpoint is less
+    than 100MB/s with a timeslice as small as one second'"""
+    for name, result in one_second_runs.items():
+        assert result.ib().avg_mbps < 100.0, name
+
+
+def test_conclusion_below_technology_limits(one_second_runs):
+    """'These figures are well below current technological limits in
+    commodity clusters.'"""
+    analyzer = FeasibilityAnalyzer()
+    for name, result in one_second_runs.items():
+        verdict = analyzer.assess(name, result.ib())
+        assert verdict.feasible, name
+        assert verdict.avg_fraction_of_network < 0.15, name
+        assert verdict.avg_fraction_of_disk < 0.35, name
+
+
+def test_conclusion_regular_behaviour_detectable(one_second_runs):
+    """'these applications exhibit regular behavior that can be exploited'
+    -- the period detector finds each long-period app's rhythm."""
+    from repro.metrics.period import estimate_period_from_log
+    for name in ("sage-1000MB", "sage-100MB", "sweep3d"):
+        result = one_second_runs[name]
+        period = estimate_period_from_log(result.log(0),
+                                          skip_until=result.init_end_time)
+        configured = result.config.spec.iteration_period
+        assert abs(period - configured) / configured < 0.2, name
+
+
+def test_conclusion_per_process_bandwidth_decreases_with_scale():
+    """'the per process bandwidth requirements decrease slightly as
+    processor count is increased' (weak scaling)."""
+    small = run_experiment(paper_config("sage-100MB", nranks=8,
+                                        timeslice=1.0))
+    large = run_experiment(paper_config("sage-100MB", nranks=32,
+                                        timeslice=1.0))
+    assert large.ib().avg_mbps < small.ib().avg_mbps
+    assert large.ib().avg_mbps > 0.9 * small.ib().avg_mbps  # only slightly
+
+
+def test_conclusion_sublinear_in_footprint(one_second_runs):
+    """'[the requirements] are sublinear in the application's memory
+    footprint size'."""
+    pairs = [("sage-50MB", "sage-100MB", 103.7 / 55.0),
+             ("sage-100MB", "sage-500MB", 497.3 / 103.7),
+             ("sage-500MB", "sage-1000MB", 954.6 / 497.3)]
+    for small, large, footprint_ratio in pairs:
+        ib_ratio = (one_second_runs[large].ib().avg_mbps
+                    / one_second_runs[small].ib().avg_mbps)
+        assert ib_ratio < footprint_ratio, (small, large)
+
+
+def test_conclusion_intrusiveness_below_ten_percent():
+    """Section 6.5 folded into the conclusion: automatic and
+    user-transparent also means cheap -- under 10% at a 1 s timeslice."""
+    cfg = paper_config("sage-100MB", nranks=2, timeslice=1.0,
+                       charge_overhead=True)
+    instrumented = run_experiment(cfg)
+    baseline = run_uninstrumented(cfg)
+    assert 0.0 < instrumented.slowdown_vs(baseline) < 0.10

@@ -1,0 +1,83 @@
+"""Unit tests for trace serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.instrument.records import TimesliceRecord, TraceLog
+from repro.trace import load_trace, load_traces, save_trace, save_traces
+
+
+def make_log(rank=0, n=5):
+    log = TraceLog(rank=rank, timeslice=1.0, page_size=16384,
+                   app_name="tracer")
+    for i in range(n):
+        log.append(TimesliceRecord(
+            index=i, t_start=float(i), t_end=float(i + 1),
+            iws_pages=i * 3, iws_bytes=i * 3 * 16384,
+            footprint_bytes=1 << 22, faults=i, received_bytes=i * 100,
+            overhead_time=i * 1e-4))
+    return log
+
+
+def test_roundtrip(tmp_path):
+    log = make_log()
+    save_trace(log, tmp_path / "run")
+    loaded = load_trace(tmp_path / "run")
+    assert loaded.rank == log.rank
+    assert loaded.timeslice == log.timeslice
+    assert loaded.page_size == log.page_size
+    assert loaded.app_name == log.app_name
+    assert len(loaded) == len(log)
+    assert np.array_equal(loaded.iws_bytes(), log.iws_bytes())
+    assert np.array_equal(loaded.faults(), log.faults())
+    assert np.allclose(loaded.overhead_time(), log.overhead_time())
+
+
+def test_roundtrip_empty_log(tmp_path):
+    log = make_log(n=0)
+    save_trace(log, tmp_path / "empty")
+    loaded = load_trace(tmp_path / "empty")
+    assert len(loaded) == 0
+
+
+def test_npz_suffix_tolerated(tmp_path):
+    log = make_log()
+    path = save_trace(log, tmp_path / "run.npz")
+    assert path.name == "run.npz"
+    loaded = load_trace(tmp_path / "run.npz")
+    assert len(loaded) == len(log)
+
+
+def test_missing_trace_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_trace(tmp_path / "nothing")
+
+
+def test_version_mismatch_rejected(tmp_path):
+    log = make_log()
+    save_trace(log, tmp_path / "run")
+    meta = json.loads((tmp_path / "run.json").read_text())
+    meta["format_version"] = 99
+    (tmp_path / "run.json").write_text(json.dumps(meta))
+    with pytest.raises(ConfigurationError):
+        load_trace(tmp_path / "run")
+
+
+def test_save_load_many(tmp_path):
+    logs = {r: make_log(rank=r, n=3 + r) for r in range(4)}
+    paths = save_traces(logs, tmp_path / "traces")
+    assert len(paths) == 4
+    loaded = load_traces(tmp_path / "traces")
+    assert sorted(loaded) == [0, 1, 2, 3]
+    assert len(loaded[3]) == 6
+
+
+def test_load_traces_missing_dir(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_traces(tmp_path / "nope")
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(ConfigurationError):
+        load_traces(tmp_path / "empty")
