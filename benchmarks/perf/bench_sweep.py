@@ -1,0 +1,225 @@
+"""Performance micro-harness: engine throughput + the full Fig-2 sweep.
+
+Times the layers this repo's speed depends on and writes the numbers to
+``BENCH_sweep.json`` next to this file, so every perf PR has a
+trajectory to compare against:
+
+1. **engine** -- raw event throughput of :class:`repro.sim.Engine`
+   (bulk schedule+drain, a self-rescheduling churn loop, and
+   ``pending_events`` under heavy cancellation);
+2. **pagetable** -- the sbrk growth pattern (thousands of small
+   resizes, Sage's allocation phase);
+3. **sweep** -- the full Fig-2 timeslice sweep (6 panels x 6
+   timeslices, 2 ranks) cold-serial, cold-parallel (``--jobs``), and
+   warm from the persistent result cache, with a bit-identical
+   determinism check across all three.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py [--jobs 4] [--quick]
+
+``--quick`` shrinks everything for CI smoke runs.  ``seed_reference``
+numbers in the JSON were measured at the growth seed (commit ac3c2e1)
+on the same class of machine, for before/after comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster.experiment import paper_config, sweep_timeslices
+from repro.exec import ResultCache
+from repro.mem.pagetable import PageTable
+from repro.sim.engine import Engine
+
+HERE = Path(__file__).parent
+OUT_PATH = HERE / "BENCH_sweep.json"
+
+FIG2_PANELS = ["sage-1000MB", "sweep3d", "bt", "sp", "ft", "lu"]
+FIG2_TIMESLICES = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0]
+
+#: measured at the growth seed (commit ac3c2e1), 1-CPU container --
+#: the "before" of this harness's first trajectory point
+SEED_REFERENCE = {
+    "engine_run_events_per_s": 191_717,
+    "engine_schedule_events_per_s": 531_545,
+    "engine_churn_events_per_s": 330_963,
+    "pending_events_100x_over_50k_s": 0.094,
+    "pagetable_4000_small_grows_s": 0.221,
+    "fig2_sweep_serial_s": 1.8,
+}
+
+
+def bench_engine(n_events: int) -> dict:
+    """Raw event-queue throughput."""
+    eng = Engine()
+    t0 = time.perf_counter()
+    for i in range(n_events):
+        eng.schedule(float(i % 1000) * 1e-3, int)
+    schedule_rate = n_events / (time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    eng.run()
+    run_rate = n_events / (time.perf_counter() - t0)
+
+    # self-rescheduling churn: small steady-state heap, the shape of
+    # simulated processes trading wakeups
+    eng = Engine()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            eng.schedule(0.001, tick)
+
+    for _ in range(100):
+        eng.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    eng.run()
+    churn_rate = count[0] / (time.perf_counter() - t0)
+
+    # pending_events under heavy cancellation (the O(1) counter; the
+    # seed scanned the whole heap per call)
+    eng = Engine()
+    events = [eng.schedule(1.0, int) for _ in range(50_000)]
+    for ev in events[::2]:
+        ev.cancel()
+    t0 = time.perf_counter()
+    for _ in range(100):
+        eng.pending_events()
+    pending_time = time.perf_counter() - t0
+    assert eng.pending_events() == 25_000
+
+    return {
+        "events": n_events,
+        "schedule_events_per_s": round(schedule_rate),
+        "run_events_per_s": round(run_rate),
+        "churn_events_per_s": round(churn_rate),
+        "pending_events_100x_over_50k_s": round(pending_time, 6),
+    }
+
+
+def bench_pagetable(n_grows: int) -> dict:
+    """The sbrk pattern: many small grows (amortized reallocation)."""
+    pt = PageTable(1000)
+    t0 = time.perf_counter()
+    for _ in range(n_grows):
+        pt.resize(pt.npages + 16)
+    elapsed = time.perf_counter() - t0
+    return {
+        "small_grows": n_grows,
+        "final_pages": pt.npages,
+        "elapsed_s": round(elapsed, 6),
+    }
+
+
+def _ib_table(results_by_panel: dict) -> dict:
+    """IBStats flattened to comparable plain values."""
+    return {
+        panel: {str(ts): [r.ib().avg_mbps, r.ib().max_mbps,
+                          r.ib().avg_iws_mb, r.ib().max_iws_mb]
+                for ts, r in by_ts.items()}
+        for panel, by_ts in results_by_panel.items()
+    }
+
+
+def _run_fig2(jobs: int, cache: ResultCache | None,
+              panels: list[str], timeslices: list[float]) -> dict:
+    out = {}
+    for name in panels:
+        out[name] = sweep_timeslices(paper_config(name, nranks=2),
+                                     timeslices, jobs=jobs, cache=cache)
+    return out
+
+
+def bench_sweep(jobs: int, panels: list[str],
+                timeslices: list[float]) -> dict:
+    """Cold serial vs cold parallel vs warm cache, plus determinism."""
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as tmp:
+        t0 = time.perf_counter()
+        serial = _run_fig2(jobs=1, cache=None, panels=panels,
+                           timeslices=timeslices)
+        serial_s = time.perf_counter() - t0
+
+        cache = ResultCache(Path(tmp) / "cache")
+        t0 = time.perf_counter()
+        parallel = _run_fig2(jobs=jobs, cache=cache, panels=panels,
+                             timeslices=timeslices)
+        parallel_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = _run_fig2(jobs=jobs, cache=cache, panels=panels,
+                         timeslices=timeslices)
+        warm_s = time.perf_counter() - t0
+
+    table = _ib_table(serial)
+    deterministic = (table == _ib_table(parallel) == _ib_table(warm))
+    if not deterministic:  # pragma: no cover - this is the alarm bell
+        print("WARNING: sweep results differ across jobs/cache!",
+              file=sys.stderr)
+    return {
+        "runs": len(panels) * len(timeslices),
+        "jobs": jobs,
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 2),
+        "speedup_warm_vs_serial": round(serial_s / warm_s, 2),
+        "bit_identical_across_modes": deterministic,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", default=str(OUT_PATH),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    n_events = 50_000 if args.quick else 300_000
+    n_grows = 500 if args.quick else 4000
+    panels = FIG2_PANELS[-2:] if args.quick else FIG2_PANELS
+    timeslices = FIG2_TIMESLICES[:2] if args.quick else FIG2_TIMESLICES
+
+    print(f"engine: {n_events} events ...", flush=True)
+    engine = bench_engine(n_events)
+    print(f"  run {engine['run_events_per_s']:,} ev/s, "
+          f"churn {engine['churn_events_per_s']:,} ev/s")
+    print(f"pagetable: {n_grows} small grows ...", flush=True)
+    pagetable = bench_pagetable(n_grows)
+    print(f"  {pagetable['elapsed_s']:.3f}s")
+    print(f"sweep: {len(panels)}x{len(timeslices)} runs, "
+          f"jobs={args.jobs} ...", flush=True)
+    sweep = bench_sweep(args.jobs, panels, timeslices)
+    print(f"  serial {sweep['serial_cold_s']}s, "
+          f"parallel {sweep['parallel_cold_s']}s "
+          f"({sweep['speedup_parallel_vs_serial']}x), "
+          f"warm cache {sweep['warm_cache_s']}s "
+          f"({sweep['speedup_warm_vs_serial']}x), "
+          f"deterministic={sweep['bit_identical_across_modes']}")
+
+    record = {
+        "quick": args.quick,
+        "cpus": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "engine": engine,
+        "pagetable": pagetable,
+        "sweep": sweep,
+        "seed_reference": SEED_REFERENCE,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0 if sweep["bit_identical_across_modes"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ def build_rows():
                            tag="intercept-on")
     off = cached_config_run(paper_config(APP, nranks=4, timeslice=1.0,
                                          intercept_receives=False),
-                            tag="intercept-off")
+                            tag="intercept-off", live=True)
     missed = sum(nic.dma_missed_pages for nic in off.job.nics)
     return on.ib(), off.ib(), missed
 

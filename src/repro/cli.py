@@ -29,6 +29,14 @@ from repro.feasibility.taxonomy import render_table1
 from repro.units import MiB
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that need a count of at least one."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,6 +60,16 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--timeslices", default="1,2,5,10,15,20",
                        help="comma-separated seconds")
     sweep.add_argument("--ranks", type=int, default=2)
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds after initialization")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for the sweep (default 1: "
+                            "serial; results are identical at any count)")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache (default: "
+                            "$REPRO_CACHE_DIR if set, else no cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore any configured result cache")
 
     feas = sub.add_parser("feasibility",
                           help="full Table 4 + section 6.3 verdicts")
@@ -119,16 +137,31 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_sweep(args, out) -> int:
-    """``sweep``: IB versus timeslice for one application."""
+    """``sweep``: IB versus timeslice for one application, optionally
+    fanned across worker processes and backed by the persistent cache."""
+    import time
+
+    from repro.exec import default_cache
+
     timeslices = [float(t) for t in args.timeslices.split(",") if t]
     if not timeslices:
         print("no timeslices given", file=sys.stderr)
         return 2
-    config = paper_config(args.app, nranks=args.ranks)
-    results = sweep_timeslices(config, timeslices)
+    cache = None if args.no_cache else default_cache(args.cache_dir)
+    config = paper_config(args.app, nranks=args.ranks,
+                          run_duration=args.duration)
+    t0 = time.perf_counter()
+    results = sweep_timeslices(config, timeslices, jobs=args.jobs,
+                               cache=cache)
+    elapsed = time.perf_counter() - t0
     print(f"{args.app}: average/maximum IB vs timeslice", file=out)
     for ts in sorted(results):
         print("  " + results[ts].ib().as_row(), file=out)
+    status = f"{len(results)} runs in {elapsed:.2f}s with {args.jobs} job(s)"
+    if cache is not None:
+        status += (f"; cache {cache.root}: {cache.hits} hit(s), "
+                   f"{cache.misses} miss(es)")
+    print(status, file=out)
     return 0
 
 

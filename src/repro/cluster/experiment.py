@@ -65,9 +65,12 @@ class ExperimentResult:
     iterations: int               #: completed main iterations (rank 0)
     iteration_starts: list[float]
     final_time: float
-    app: ScientificApplication = field(repr=False)
-    library: InstrumentationLibrary = field(repr=False)
-    job: MPIJob = field(repr=False)
+    #: live simulation objects; None on results reloaded from the
+    #: persistent cache or shipped back from a pool worker (the derived
+    #: statistics above need only the traces and metadata)
+    app: Optional[ScientificApplication] = field(repr=False, default=None)
+    library: Optional[InstrumentationLibrary] = field(repr=False, default=None)
+    job: Optional[MPIJob] = field(repr=False, default=None)
 
     # -- derived statistics (rank 0 unless stated; bulk synchrony makes
     # -- one process representative, section 6.1) -------------------------------
@@ -106,6 +109,21 @@ class ExperimentResult:
         run of the same workload (section 6.5's intrusiveness)."""
         base = baseline.measured_period()
         return self.measured_period() / base - 1.0
+
+    def detached(self) -> "ExperimentResult":
+        """A copy without the live simulation objects.
+
+        Detached results are picklable (pool workers ship them between
+        processes) and serializable to the persistent cache; every
+        derived statistic still works."""
+        return ExperimentResult(
+            config=self.config,
+            logs=self.logs,
+            init_end_time=self.init_end_time,
+            iterations=self.iterations,
+            iteration_starts=list(self.iteration_starts),
+            final_time=self.final_time,
+        )
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -178,27 +196,44 @@ def run_uninstrumented(config: ExperimentConfig) -> ExperimentResult:
         config=config, logs={}, init_end_time=rc0.init_end_time,
         iterations=rc0.iterations,
         iteration_starts=list(rc0.iteration_starts),
-        final_time=engine.now, app=app, library=None, job=job)  # type: ignore[arg-type]
+        final_time=engine.now, app=app, library=None, job=job)
 
 
 def sweep_timeslices(config: ExperimentConfig,
-                     timeslices: list[float]) -> dict[float, ExperimentResult]:
+                     timeslices: list[float], *, jobs: int = 1,
+                     cache=None) -> dict[float, ExperimentResult]:
     """One run per timeslice (the sweep behind Figs 2-4).  Re-running per
     timeslice matters: page reuse within longer slices cannot be derived
-    from a finer-grained run, because the dirty set resets at each alarm."""
+    from a finer-grained run, because the dirty set resets at each alarm.
+
+    ``jobs`` fans the independent runs across a process pool; ``cache``
+    (a :class:`repro.exec.ResultCache`) makes repeat sweeps near-instant.
+    Results are identical at any job count (see DESIGN.md)."""
     if not timeslices:
         raise ConfigurationError("empty timeslice sweep")
-    return {ts: run_experiment(config.scaled(timeslice=ts))
-            for ts in timeslices}
+    return _run_sweep(config, "timeslice", timeslices, jobs=jobs, cache=cache)
 
 
 def sweep_processors(config: ExperimentConfig,
-                     nranks_list: list[int]) -> dict[int, ExperimentResult]:
+                     nranks_list: list[int], *, jobs: int = 1,
+                     cache=None) -> dict[int, ExperimentResult]:
     """One run per processor count under weak scaling (Fig 5): the
     per-process footprint is fixed; only the rank count changes."""
     if not nranks_list:
         raise ConfigurationError("empty processor sweep")
-    return {n: run_experiment(config.scaled(nranks=n)) for n in nranks_list}
+    return _run_sweep(config, "nranks", nranks_list, jobs=jobs, cache=cache)
+
+
+def _run_sweep(config: ExperimentConfig, field_name: str, values: list,
+               *, jobs: int, cache) -> dict:
+    """Fan one-field sweeps through the executor, deduplicating repeated
+    values (matching the dict semantics the serial loop always had)."""
+    from repro.exec import SweepExecutor  # deferred: exec imports us
+
+    unique = list(dict.fromkeys(values))
+    configs = [config.scaled(**{field_name: v}) for v in unique]
+    results = SweepExecutor(jobs=jobs, cache=cache).run_many(configs)
+    return dict(zip(unique, results))
 
 
 def paper_config(name: str, **overrides) -> ExperimentConfig:

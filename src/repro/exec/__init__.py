@@ -1,0 +1,37 @@
+"""Sweep execution: parallel fan-out plus a persistent result cache.
+
+The substrate under every figure/table regeneration:
+
+- :class:`SweepExecutor` -- runs independent experiment configs across a
+  process pool, results in deterministic submission order;
+- :class:`ResultCache` -- on-disk cache of finished runs keyed by
+  (config, workload spec, code version), so repeat benchmark and figure
+  runs are near-instant;
+- :func:`cache_key` / :func:`config_fingerprint` / :func:`code_fingerprint`
+  -- the stable hashing underneath.
+
+See ``DESIGN.md`` ("Parallel sweeps and determinism") for why a parallel
+sweep is guaranteed bit-identical to a serial one.
+"""
+
+from repro.exec.cache import CACHE_DIR_ENV, ResultCache, default_cache
+from repro.exec.keys import (
+    CACHE_FORMAT_VERSION,
+    cache_key,
+    canonical,
+    code_fingerprint,
+    config_fingerprint,
+)
+from repro.exec.pool import SweepExecutor
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "SweepExecutor",
+    "cache_key",
+    "canonical",
+    "code_fingerprint",
+    "config_fingerprint",
+    "default_cache",
+]

@@ -1,0 +1,91 @@
+"""Stable cache keys for experiment runs.
+
+A result is reusable when three things match: the experiment
+configuration (every field, including the workload spec), the workload's
+*code* (the simulator is the measurement instrument -- a changed
+instrument invalidates old readings), and the cache format itself.
+
+The configuration is canonicalized structurally -- dataclasses become
+``{"__type__": ..., field: value}`` mappings, enums become
+``[class, value]`` pairs, floats keep their full ``repr`` precision
+through JSON -- so the key is independent of process, platform hash
+randomization, and field declaration order.  The code component is a
+SHA-256 over every ``*.py`` file of the installed ``repro`` package,
+computed once per process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: bump when the on-disk cache layout changes incompatibly
+CACHE_FORMAT_VERSION = 1
+
+_code_fingerprint_cache: dict[str, str] = {}
+
+
+def canonical(obj: Any) -> Any:
+    """A JSON-serializable, deterministic projection of ``obj``."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {"__type__": type(obj).__qualname__}
+        for f in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__qualname__, canonical(obj.value)]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ConfigurationError(
+        f"cannot canonicalize {type(obj).__qualname__!r} for cache keying")
+
+
+def config_fingerprint(config: Any) -> str:
+    """SHA-256 over the canonical form of an :class:`ExperimentConfig`."""
+    payload = json.dumps(canonical(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source of the installed ``repro`` package.
+
+    Any edit to any module invalidates every cached result: the whole
+    simulator is the measurement instrument, and slicing the dependency
+    graph finer than "the package" buys little and risks stale reuse.
+    """
+    import repro
+
+    pkg_root = str(Path(repro.__file__).parent)
+    cached = _code_fingerprint_cache.get(pkg_root)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    root = Path(pkg_root)
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _code_fingerprint_cache[pkg_root] = digest
+    return digest
+
+
+def cache_key(config: Any) -> str:
+    """The persistent-cache key of one experiment run."""
+    h = hashlib.sha256()
+    h.update(f"format={CACHE_FORMAT_VERSION}\0".encode())
+    h.update(f"code={code_fingerprint()}\0".encode())
+    h.update(f"config={config_fingerprint(config)}\0".encode())
+    return h.hexdigest()

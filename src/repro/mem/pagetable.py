@@ -16,6 +16,11 @@ Three NumPy arrays hold the page state:
 
 All bulk operations are O(range) NumPy slices; a full-scale Sage-1000MB
 footprint is ~61k pages, so a whole timeslice costs microseconds.
+
+The three visible arrays are *views* into over-allocated backing buffers
+that grow geometrically, so the brk/sbrk growth pattern (thousands of
+small increments during Sage's allocation phase) costs amortized O(1)
+per page instead of one full ``np.concatenate`` copy per call.
 """
 
 from __future__ import annotations
@@ -30,15 +35,37 @@ from repro.errors import MappingError
 class PageTable:
     """Page-granular protection / dirty / version state."""
 
-    __slots__ = ("npages", "protected", "dirty", "versions")
+    __slots__ = ("npages", "protected", "dirty", "versions",
+                 "_capacity", "_protected_buf", "_dirty_buf", "_versions_buf")
 
     def __init__(self, npages: int):
         if npages < 0:
             raise MappingError(f"negative page count: {npages}")
         self.npages = npages
-        self.protected = np.zeros(npages, dtype=bool)
-        self.dirty = np.zeros(npages, dtype=bool)
-        self.versions = np.zeros(npages, dtype=np.uint64)
+        self._allocate(npages, npages)
+
+    def _allocate(self, capacity: int, preserve: int = 0) -> None:
+        """(Re)allocate the backing buffers at ``capacity`` pages, carrying
+        over the first ``preserve`` pages of live state."""
+        protected = np.zeros(capacity, dtype=bool)
+        dirty = np.zeros(capacity, dtype=bool)
+        versions = np.zeros(capacity, dtype=np.uint64)
+        if preserve and getattr(self, "_protected_buf", None) is not None:
+            protected[:preserve] = self._protected_buf[:preserve]
+            dirty[:preserve] = self._dirty_buf[:preserve]
+            versions[:preserve] = self._versions_buf[:preserve]
+        self._capacity = capacity
+        self._protected_buf = protected
+        self._dirty_buf = dirty
+        self._versions_buf = versions
+        self._reslice()
+
+    def _reslice(self) -> None:
+        """Refresh the public views after npages or the buffers changed."""
+        n = self.npages
+        self.protected = self._protected_buf[:n]
+        self.dirty = self._dirty_buf[:n]
+        self.versions = self._versions_buf[:n]
 
     # -- writes ---------------------------------------------------------------
 
@@ -66,10 +93,17 @@ class PageTable:
         the number of pages whose modification went unrecorded (i.e. that
         were neither already dirty nor unprotected-and-tracked) -- the
         pages an incremental checkpoint would silently miss.
+
+        A page counts as missed only when it is protected *and* clean:
+        the protection armed by the tracker proves the page was meant to
+        fault on its next store, and the DMA defeated exactly that.
+        Unprotected clean pages are outside the armed tracking window
+        (pre-arm startup, or an explicit unprotect) and were never going
+        to fault anyway; dirty pages are already in the IWS.
         """
         self._check_range(lo, hi)
         sl = slice(lo, hi)
-        missed = int(np.count_nonzero(~self.dirty[sl]))
+        missed = int(np.count_nonzero(self.protected[sl] & ~self.dirty[sl]))
         self.versions[sl] = version
         return missed
 
@@ -106,32 +140,36 @@ class PageTable:
 
     def resize(self, npages: int) -> None:
         """Grow or shrink the table.  New pages arrive unprotected, clean,
-        and at version 0 (zero-filled by the kernel)."""
+        and at version 0 (zero-filled by the kernel).
+
+        Shrinking just narrows the views; growing back within capacity
+        zeroes the re-exposed tail, so state dropped by a shrink never
+        resurfaces.  Growth past capacity reallocates geometrically.
+        """
         if npages < 0:
             raise MappingError(f"negative page count: {npages}")
-        if npages == self.npages:
+        old = self.npages
+        if npages == old:
             return
-        if npages > self.npages:
-            extra = npages - self.npages
-            self.protected = np.concatenate(
-                [self.protected, np.zeros(extra, dtype=bool)])
-            self.dirty = np.concatenate([self.dirty, np.zeros(extra, dtype=bool)])
-            self.versions = np.concatenate(
-                [self.versions, np.zeros(extra, dtype=np.uint64)])
-        else:
-            self.protected = self.protected[:npages].copy()
-            self.dirty = self.dirty[:npages].copy()
-            self.versions = self.versions[:npages].copy()
+        if npages > self._capacity:
+            # geometric over-allocation: amortized O(1) per added page
+            self._allocate(max(npages, 2 * self._capacity, 8), preserve=old)
+        elif npages > old:
+            # re-expose pages within capacity: wipe any stale tail state
+            self._protected_buf[old:npages] = False
+            self._dirty_buf[old:npages] = False
+            self._versions_buf[old:npages] = 0
         self.npages = npages
+        self._reslice()
 
     def split(self, at: int) -> "PageTable":
         """Split off pages ``[at, npages)`` into a new table (for partial
         munmap); this table keeps ``[0, at)``."""
         self._check_range(at, self.npages)
         tail = PageTable(self.npages - at)
-        tail.protected = self.protected[at:].copy()
-        tail.dirty = self.dirty[at:].copy()
-        tail.versions = self.versions[at:].copy()
+        tail.protected[:] = self.protected[at:]
+        tail.dirty[:] = self.dirty[at:]
+        tail.versions[:] = self.versions[at:]
         self.resize(at)
         return tail
 

@@ -10,6 +10,12 @@ application process resumes, the alarm handler must run *first* so the
 pages written before the boundary are attributed to the finished
 timeslice.  Timers therefore use :data:`PRIORITY_TIMER` (0) while process
 wake-ups use :data:`PRIORITY_NORMAL` (10).
+
+The queue is a binary heap of ``(time, priority, seq, event)`` tuples:
+``seq`` is unique, so comparisons resolve inside the tuple and never call
+back into Python-level ``Event`` ordering.  Cancelled events stay in the
+heap (lazy deletion) but are counted exactly, and the heap is compacted
+in place once cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
@@ -30,6 +36,9 @@ PRIORITY_NORMAL: int = 10
 #: Priority for bookkeeping that must observe everything else at an instant.
 PRIORITY_LATE: int = 100
 
+#: Compact the heap only past this size (tiny heaps are not worth it).
+_COMPACT_MIN: int = 64
+
 
 class Event:
     """A scheduled callback.
@@ -38,20 +47,31 @@ class Event:
     :meth:`Engine.schedule_at`; cancel with :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "_engine")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 fn: Callable[..., Any], args: tuple):
+                 fn: Callable[..., Any], args: tuple,
+                 engine: "Optional[Engine]" = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: owning engine while the event sits in its queue; cleared when
+        #: the event is popped so late cancels don't corrupt the counters
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        eng = self._engine
+        if eng is not None:
+            self._engine = None
+            eng._note_cancel()
 
     def sort_key(self) -> tuple:
         """The (time, priority, sequence) ordering tuple."""
@@ -80,10 +100,12 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        #: heap of (time, priority, seq, Event) -- C-level tuple ordering
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._live_processes = 0  # maintained by SimProcess
+        self._n_cancelled = 0     # cancelled entries still in the heap
 
     # -- clock -------------------------------------------------------------
 
@@ -105,25 +127,51 @@ class Engine:
         if time < self._now:
             raise ClockError(
                 f"cannot schedule event at t={time:.9f}, now is t={self._now:.9f}")
-        ev = Event(time, priority, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._seq)
+        ev = Event(time, priority, seq, fn, args, engine=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """One queued event was cancelled; compact once the dead outnumber
+        the living (and the heap is big enough to care)."""
+        self._n_cancelled += 1
+        heap = self._heap
+        if (self._n_cancelled * 2 > len(heap)
+                and len(heap) >= _COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (``run`` holds
+        an alias of the list, so the object identity must survive)."""
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._n_cancelled = 0
 
     # -- execution ----------------------------------------------------------
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._n_cancelled -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            ev = entry[3]
             if ev.cancelled:
+                self._n_cancelled -= 1
                 continue
-            self._now = ev.time
+            ev._engine = None
+            self._now = entry[0]
             ev.fn(*ev.args)
             return True
         return False
@@ -140,15 +188,27 @@ class Engine:
 
         Returns the final virtual time.
         """
+        # the hot loop: peek and pop are fused, the heap and heapq
+        # functions are bound locally.  self._heap is only ever mutated in
+        # place (push/pop/compact), so the alias stays valid across
+        # callbacks that schedule or cancel.
+        heap = self._heap
+        heappop = heapq.heappop
         self._running = True
         try:
-            while self._heap:
-                t = self.peek_time()
-                if t is None:
+            while heap:
+                entry = heap[0]
+                ev = entry[3]
+                if ev.cancelled:
+                    heappop(heap)
+                    self._n_cancelled -= 1
+                    continue
+                if until is not None and entry[0] > until:
                     break
-                if until is not None and t > until:
-                    break
-                self.step()
+                heappop(heap)
+                ev._engine = None
+                self._now = entry[0]
+                ev.fn(*ev.args)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -159,8 +219,8 @@ class Engine:
         return self._now
 
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._n_cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.6f} pending={self.pending_events()}>"

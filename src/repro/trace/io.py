@@ -56,22 +56,26 @@ def load_trace(path: Union[str, Path]) -> TraceLog:
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported trace format {meta.get('format_version')!r}")
-    data = np.load(npz_path)
     log = TraceLog(rank=int(meta["rank"]), timeslice=float(meta["timeslice"]),
                    page_size=int(meta["page_size"]),
                    app_name=meta.get("app_name", ""))
     n = int(meta["n_slices"])
+    with np.load(npz_path) as data:
+        # materialize each column once: NpzFile.__getitem__ decompresses
+        # the whole array on every access, so indexing inside the record
+        # loop would decompress n times per column
+        cols = {col: data[col] for col in _COLUMNS}
     for i in range(n):
         log.append(TimesliceRecord(
-            index=int(data["index"][i]),
-            t_start=float(data["t_start"][i]),
-            t_end=float(data["t_end"][i]),
-            iws_pages=int(data["iws_pages"][i]),
-            iws_bytes=int(data["iws_bytes"][i]),
-            footprint_bytes=int(data["footprint_bytes"][i]),
-            faults=int(data["faults"][i]),
-            received_bytes=int(data["received_bytes"][i]),
-            overhead_time=float(data["overhead_time"][i]),
+            index=int(cols["index"][i]),
+            t_start=float(cols["t_start"][i]),
+            t_end=float(cols["t_end"][i]),
+            iws_pages=int(cols["iws_pages"][i]),
+            iws_bytes=int(cols["iws_bytes"][i]),
+            footprint_bytes=int(cols["footprint_bytes"][i]),
+            faults=int(cols["faults"][i]),
+            received_bytes=int(cols["received_bytes"][i]),
+            overhead_time=float(cols["overhead_time"][i]),
         ))
     return log
 

@@ -1,0 +1,65 @@
+"""Cache-key stability: same config -> same key, any change -> new key."""
+
+import pytest
+
+from repro.cluster.experiment import paper_config
+from repro.errors import ConfigurationError
+from repro.exec import cache_key, canonical, code_fingerprint, config_fingerprint
+
+
+def test_same_config_same_key():
+    a = paper_config("lu", nranks=2, timeslice=1.0)
+    b = paper_config("lu", nranks=2, timeslice=1.0)
+    assert a is not b
+    assert cache_key(a) == cache_key(b)
+
+
+def test_any_config_field_change_changes_key():
+    base = paper_config("lu", nranks=2, timeslice=1.0)
+    variants = [
+        base.scaled(timeslice=2.0),
+        base.scaled(nranks=4),
+        base.scaled(page_size=base.page_size * 2),
+        base.scaled(intercept_receives=not base.intercept_receives),
+        base.scaled(charge_overhead=True),
+        base.scaled(run_duration=42.0),
+        paper_config("sp", nranks=2, timeslice=1.0),
+    ]
+    keys = {cache_key(v) for v in variants}
+    assert cache_key(base) not in keys
+    assert len(keys) == len(variants)
+
+
+def test_workload_spec_change_changes_key():
+    base = paper_config("lu", nranks=2)
+    tweaked = base.scaled(spec=base.spec.scaled(passes=base.spec.passes * 2))
+    assert cache_key(base) != cache_key(tweaked)
+
+
+def test_canonical_is_json_stable():
+    import json
+
+    cfg = paper_config("sage-100MB", nranks=2)
+    one = json.dumps(canonical(cfg), sort_keys=True)
+    two = json.dumps(canonical(cfg), sort_keys=True)
+    assert one == two
+    assert "WorkloadSpec" in one      # the spec rides along
+    assert "ClusterSpec" in one       # and the hardware model
+
+
+def test_canonical_rejects_opaque_objects():
+    with pytest.raises(ConfigurationError):
+        canonical(object())
+
+
+def test_code_fingerprint_is_cached_and_hexdigest():
+    fp1 = code_fingerprint()
+    fp2 = code_fingerprint()
+    assert fp1 == fp2
+    assert len(fp1) == 64
+    int(fp1, 16)  # valid hex
+
+
+def test_config_fingerprint_differs_from_cache_key():
+    cfg = paper_config("lu", nranks=2)
+    assert config_fingerprint(cfg) != cache_key(cfg)

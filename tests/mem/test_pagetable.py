@@ -82,6 +82,22 @@ def test_dma_write_to_already_dirty_pages_not_missed():
     assert missed == 0  # a checkpoint would save them anyway
 
 
+def test_dma_write_counts_only_protected_and_clean_pages():
+    """Regression: missed = protected-and-clean exactly, per the
+    docstring.  Unprotected clean pages were never armed, so the tracker
+    would not have caught a CPU store to them either; counting them
+    overstated the DMA hazard."""
+    pt = PageTable(8)
+    pt.protect_all()
+    pt.cpu_write(0, 2, version=1)        # pages 0,1 dirty + unprotected
+    pt.protect_range(4, 6, value=False)  # pages 4,5 unprotected, clean
+    missed = pt.dma_write(0, 8, version=2)
+    assert missed == 4                   # pages 2,3,6,7: armed and clean
+    # unarmed pages alone: nothing for the checkpoint to have missed
+    pt2 = PageTable(8)
+    assert pt2.dma_write(0, 8, version=1) == 0
+
+
 def test_protect_range():
     pt = PageTable(8)
     pt.protect_range(2, 5)
@@ -125,6 +141,44 @@ def test_resize_noop():
     pt = PageTable(4)
     pt.resize(4)
     assert pt.npages == 4
+
+
+def test_shrink_then_regrow_pages_arrive_clean():
+    """Amortized backing buffers must not resurrect state dropped by a
+    shrink: pages re-exposed by a later grow are unprotected, clean,
+    version 0 -- exactly like kernel-fresh pages."""
+    pt = PageTable(8)
+    pt.protect_all()
+    pt.cpu_write(0, 8, version=9)
+    pt.resize(2)
+    pt.resize(8)
+    assert pt.dirty_count() == 2
+    assert not pt.protected[2:].any()
+    assert (pt.versions[2:] == 0).all()
+    assert (pt.versions[:2] == 9).all()
+
+
+def test_many_small_grows_preserve_state():
+    """The sbrk pattern the over-allocation exists for."""
+    pt = PageTable(1)
+    pt.cpu_write(0, 1, version=1)
+    for i in range(200):
+        pt.resize(pt.npages + 3)
+    assert pt.npages == 601
+    assert (pt.versions[0] == 1)
+    assert (pt.versions[1:] == 0).all()
+    assert not pt.protected.any() and pt.dirty_count() == 0
+    # views track npages exactly (no capacity slop leaks out)
+    assert len(pt.protected) == len(pt.dirty) == len(pt.versions) == 601
+
+
+def test_grow_to_zero_and_back():
+    pt = PageTable(4)
+    pt.protect_all()
+    pt.resize(0)
+    assert pt.npages == 0 and len(pt.protected) == 0
+    pt.resize(4)
+    assert not pt.protected.any()
 
 
 def test_split_preserves_state_on_both_sides():

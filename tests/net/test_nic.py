@@ -49,8 +49,20 @@ def test_dma_deposit_bypasses_tracking_when_unprotected():
     assert not res.intercepted
     assert res.write.faults == 0
     assert res.copy_time == 0.0
-    assert proc.memory.dirty_pages() == 0        # modification invisible
-    assert nic.dma_missed_pages == 2             # ...and accounted as missed
+    assert proc.memory.dirty_pages() == 0    # modification invisible...
+    # ...but not *missed*: protection was never armed, so the tracker
+    # would not have caught a CPU store to these pages either
+    assert nic.dma_missed_pages == 0
+
+
+def test_lenient_dma_missed_counts_only_armed_pages():
+    """Missed pages are exactly the protected-and-clean ones the armed
+    tracker would have caught had the store gone through the MMU."""
+    eng, net, proc, nic = make_nic(strict_dma=False)
+    proc.mprotect_data()
+    res = nic.deposit(proc.memory.data.base, 3 * PS, intercept=False)
+    assert res.write.missed == 3
+    assert nic.dma_missed_pages == 3
 
 
 def test_strict_dma_into_protected_page_raises():
