@@ -95,6 +95,13 @@ class CheckpointEngine:
         #: capacity-limited sinks like diskless buddy memory)
         self.gc = gc
         self.bytes_reclaimed = 0
+        #: (rank, seq) pairs whose stable-storage write failed
+        self.write_failures: list[tuple[int, int]] = []
+        #: sequences that must never commit (a piece was lost; the deltas
+        #: that built on it are unrecoverable until the next full)
+        self._poisoned: set[int] = set()
+        #: ranks whose next capture must be full (chain head was lost)
+        self._force_full: set[int] = set()
         # run after the library's own init hook, so the tracker exists
         job.init_hooks.append(self._on_rank_start)
 
@@ -125,10 +132,11 @@ class CheckpointEngine:
         n = self._captures[rank]
         self._captures[rank] = n + 1
         now = self.job.engine.now
-        if n % self.full_every == 0:
+        if n % self.full_every == 0 or rank in self._force_full:
             ckpt = self._full.capture(tracker.process.memory, seq,
                                       taken_at=now)
             inc.mark_baseline()
+            self._force_full.discard(rank)
         else:
             ckpt = inc.capture(seq, taken_at=now)
         self._write_out(rank, ckpt)
@@ -151,7 +159,8 @@ class CheckpointEngine:
             writeout = CowWriteout(self.job.processes[rank], ckpt, duration)
             self._writeouts.append(writeout)
         fut = self._disks[rank].write(ckpt.nbytes)
-        fut.add_callback(lambda done_at, s=ckpt.seq: self._on_durable(s, done_at))
+        fut.add_callback(lambda done_at, r=rank, s=ckpt.seq:
+                         self._on_durable(r, s, done_at))
 
     @staticmethod
     def _estimate_write_duration(sink, nbytes: int) -> float:
@@ -167,7 +176,13 @@ class CheckpointEngine:
         raise CheckpointError(
             f"cannot estimate write duration for sink {sink!r}")
 
-    def _on_durable(self, seq: int, done_at: float) -> None:
+    def _on_durable(self, rank: int, seq: int,
+                    done_at: Optional[float]) -> None:
+        if done_at is None:           # the stable-storage write failed
+            self._on_write_failed(rank, seq)
+            return
+        if seq in self._poisoned:
+            return
         record = self.globals[seq]
         record.ranks_stored += 1
         if record.ranks_stored == self.job.nranks:
@@ -175,6 +190,26 @@ class CheckpointEngine:
             self.store.mark_committed(seq)
             if self.gc and record.kind == "full":
                 self._collect_garbage(seq)
+
+    def _on_write_failed(self, rank: int, seq: int) -> None:
+        """A rank's piece never reached stable storage: that sequence can
+        never commit, and any incremental already captured on top of the
+        lost piece is unrecoverable too.  Drop them from the store and
+        force the rank's next capture to be full, which re-heads its
+        chain."""
+        self.write_failures.append((rank, seq))
+        self._poisoned.add(seq)
+        self.store.discard(rank, seq)
+        # disks are FIFO, so later pieces cannot have become durable yet;
+        # discard the orphaned deltas up to (excluding) the next full
+        for obj in list(self.store.pieces(rank)):
+            if obj.seq <= seq:
+                continue
+            if obj.kind == "full":
+                break
+            self._poisoned.add(obj.seq)
+            self.store.discard(rank, obj.seq)
+        self._force_full.add(rank)
 
     def _collect_garbage(self, full_seq: int) -> None:
         """A committed full checkpoint supersedes everything before it:
@@ -193,6 +228,14 @@ class CheckpointEngine:
         """All committed global checkpoints, oldest first."""
         return [gc for gc in sorted(self.globals.values(), key=lambda g: g.seq)
                 if gc.committed]
+
+    def latest_commit_time(self) -> Optional[float]:
+        """When the most recent committed sequence became durable (the
+        reference point for lost-work accounting), or None."""
+        seq = self.store.latest_committed()
+        if seq is None:
+            return None
+        return self.globals[seq].committed_at
 
     def bytes_to_storage(self) -> int:
         """Total checkpoint bytes streamed to disks (all ranks)."""

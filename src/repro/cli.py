@@ -14,6 +14,10 @@ Commands:
     6.3 verdict table, plus the trend extrapolation.
 ``table1``
     Print the abstraction-level taxonomy.
+``faults run``
+    Fault-injection experiment: run under a seeded stochastic or
+    explicit fault plan, recover from the checkpoint chain, and report
+    lost-work/downtime/availability against the Young/Daly model.
 """
 
 from __future__ import annotations
@@ -34,6 +38,22 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for flags that need a strictly positive value."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type for flags that need a value >= 0."""
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -92,6 +112,40 @@ def _parser() -> argparse.ArgumentParser:
     rep.add_argument("--ranks", type=int, default=2)
     rep.add_argument("--quick", action="store_true",
                      help="smaller sweeps (seconds instead of ~a minute)")
+
+    faults = sub.add_parser("faults",
+                            help="fault injection and recovery experiments")
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    frun = fsub.add_parser("run",
+                           help="run one experiment under a fault plan, "
+                                "recovering from the checkpoint chain")
+    frun.add_argument("--app", required=True, choices=sorted(PAPER_APPS))
+    frun.add_argument("--ranks", type=_positive_int, default=4)
+    frun.add_argument("--timeslice", type=_positive_float, default=1.0)
+    frun.add_argument("--duration", type=_positive_float, default=None,
+                      help="simulated seconds after initialization")
+    src = frun.add_mutually_exclusive_group(required=True)
+    src.add_argument("--mtbf", type=_positive_float, default=None,
+                     help="per-node mean time between failures, seconds "
+                          "(seeded stochastic plan)")
+    src.add_argument("--plan", metavar="FILE", default=None,
+                     help="explicit JSON fault plan")
+    frun.add_argument("--seed", type=int, default=0,
+                      help="stochastic plan seed (same seed, same plan)")
+    frun.add_argument("--model", choices=("exponential", "weibull"),
+                      default="exponential")
+    frun.add_argument("--shape", type=_positive_float, default=0.7,
+                      help="Weibull shape (only with --model weibull)")
+    frun.add_argument("--interval", type=_positive_int, default=2,
+                      help="checkpoint every N timeslices")
+    frun.add_argument("--full-every", type=_positive_int, default=4,
+                      help="full checkpoint every N captures")
+    frun.add_argument("--detect-latency", type=_nonneg_float, default=0.25,
+                      help="failure-detection latency, seconds")
+    frun.add_argument("--max-faults", type=_positive_int, default=None,
+                      help="cap the stochastic plan's event count")
+    frun.add_argument("--no-verify", action="store_true",
+                      help="skip the bit-identical restore verification")
 
     ana = sub.add_parser("analyze",
                          help="compute IWS/IB statistics from saved traces "
@@ -184,6 +238,73 @@ def cmd_feasibility(args, out) -> int:
     return 0
 
 
+def cmd_faults_run(args, out) -> int:
+    """``faults run``: one fault-injection experiment with recovery."""
+    from repro.errors import FaultPlanError
+    from repro.faults import FaultPlan, run_with_failures
+    from repro.feasibility import FailureModel, observed_efficiency, \
+        predicted_vs_observed
+
+    config = paper_config(args.app, nranks=args.ranks,
+                          timeslice=args.timeslice,
+                          run_duration=args.duration)
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.from_file(args.plan)
+            plan.validate_for(args.ranks)
+        except FaultPlanError as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.apps.registry import default_run_duration
+        duration = (args.duration if args.duration is not None
+                    else default_run_duration(config.spec))
+        duration = max(duration, 5.0 * args.timeslice)
+        # failures stretch the run; draw events past the nominal end too
+        horizon = 3.0 * duration
+        if args.model == "weibull":
+            plan = FaultPlan.weibull(args.mtbf, args.ranks, horizon,
+                                     seed=args.seed, shape=args.shape,
+                                     max_faults=args.max_faults)
+        else:
+            plan = FaultPlan.exponential(args.mtbf, args.ranks, horizon,
+                                         seed=args.seed,
+                                         max_faults=args.max_faults)
+    result = run_with_failures(config, plan,
+                               interval_slices=args.interval,
+                               full_every=args.full_every,
+                               detection_latency=args.detect_latency,
+                               verify=not args.no_verify)
+    metrics = result.metrics
+    print(f"{args.app}: {len(plan)} planned fault(s), "
+          f"{len(result.failures)} recovery(ies), "
+          f"{len(result.lives)} life(s), "
+          f"{result.final_time:.1f} s simulated", file=out)
+    for rec in result.failures:
+        target = ("from scratch" if rec.recovered_seq is None
+                  else f"seq {rec.recovered_seq} (life {rec.recovery_life})")
+        print(f"  t={rec.time:8.2f}s {rec.kind:5s} rank(s) "
+              f"{','.join(map(str, rec.victims))}: rolled back to {target}, "
+              f"lost {rec.lost_work:.2f}s, down {rec.downtime:.2f}s",
+              file=out)
+    print(metrics.as_row(), file=out)
+    cost = result.mean_commit_latency()
+    if args.mtbf is not None and cost is not None and result.failures:
+        comparison = predicted_vs_observed(
+            interval=args.interval * args.timeslice, cost=cost,
+            failures=FailureModel(node_mtbf=args.mtbf, nnodes=args.ranks,
+                                  restart_time=metrics.total_downtime
+                                  / metrics.n_failures),
+            observed=observed_efficiency(metrics.wall_time,
+                                         metrics.total_downtime,
+                                         metrics.total_lost_work))
+        print(f"Young/Daly model: predicted efficiency "
+              f"{comparison['predicted_efficiency']:.2%}, observed "
+              f"{comparison['observed_efficiency']:.2%} "
+              f"(gap {comparison['gap']:+.2%})", file=out)
+    return 0
+
+
 def cmd_validate(args, out) -> int:
     """``validate``: calibration drift check (exit 1 on drift)."""
     from repro.apps.validation import summarize, validate_all, validate_app
@@ -211,6 +332,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.command == "table1":
         print(render_table1(), file=out)
         return 0
+    if args.command == "faults":
+        return cmd_faults_run(args, out)
     if args.command == "validate":
         return cmd_validate(args, out)
     if args.command == "report":

@@ -236,6 +236,15 @@ def _run_sweep(config: ExperimentConfig, field_name: str, values: list,
     return dict(zip(unique, results))
 
 
+def run_with_failures(config: ExperimentConfig, plan, **kwargs):
+    """Run one experiment under a fault plan, recovering from every
+    fatal fault via the checkpoint chain; see
+    :func:`repro.faults.driver.run_with_failures` for the knobs."""
+    from repro.faults.driver import run_with_failures as _run  # deferred: faults imports us
+
+    return _run(config, plan, **kwargs)
+
+
 def paper_config(name: str, **overrides) -> ExperimentConfig:
     """An :class:`ExperimentConfig` for one of the paper's applications."""
     return ExperimentConfig(spec=paper_spec(name), **overrides)

@@ -112,6 +112,10 @@ class StorageError(ReproError):
     """Errors in the stable-storage model."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or cannot be delivered."""
+
+
 # --------------------------------------------------------------------------
 # Experiments / configuration
 # --------------------------------------------------------------------------

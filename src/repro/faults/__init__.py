@@ -1,0 +1,38 @@
+"""Deterministic fault injection and end-to-end failure recovery.
+
+Three layers, data -> mechanism -> policy:
+
+- :mod:`~repro.faults.plan` -- :class:`FaultPlan`\\ s say *what* fails
+  and *when* (explicit lists, seeded exponential/Weibull models, JSON
+  files);
+- :mod:`~repro.faults.injector` -- the :class:`FaultInjector` schedules
+  a plan on the sim engine and breaks the right component when an event
+  fires;
+- :mod:`~repro.faults.driver` -- :func:`run_with_failures` closes the
+  loop: run, fail, roll back to the newest committed global checkpoint,
+  restart, repeat; with lost-work / restore-time / downtime accounting
+  that feeds :mod:`repro.feasibility.availability`.
+
+Everything is seeded and replayable: the same plan on the same config
+yields bit-identical traces, failure records, and metrics.
+"""
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.driver import (
+    FailureRecoveryDriver,
+    FaultRunResult,
+    LifeResult,
+    run_with_failures,
+)
+
+__all__ = [
+    "FailureRecoveryDriver",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRunResult",
+    "LifeResult",
+    "run_with_failures",
+]

@@ -1,0 +1,403 @@
+"""The failure-recovery driver: run, fail, restore, continue.
+
+:func:`run_with_failures` is the experiment entry point that closes the
+paper's loop end-to-end on the simulated cluster: it runs an
+instrumented, coordinated-checkpointed application under a
+:class:`~repro.faults.plan.FaultPlan`, and every time a fatal fault
+lands it
+
+1. stops the virtual clock at the failure instant (the injector calls
+   :meth:`~repro.sim.Engine.stop`),
+2. finds the newest *committed* global checkpoint across all previous
+   lives and rolls every rank back to it
+   (:class:`~repro.checkpoint.RecoveryManager` /
+   :class:`~repro.checkpoint.RestartCoordinator`),
+3. charges detection latency + chain-read restore time as downtime and
+   the recomputation window as lost work
+   (:class:`~repro.metrics.failures.FailureRecord`),
+4. relaunches the job in a fresh *life* whose clock starts where the
+   downtime ended, with a fresh checkpoint store headed by a new full
+   checkpoint.
+
+Determinism: the same config and plan produce bit-identical traces,
+failure records, and metrics on every run.  With ``verify=True`` (the
+default) the driver additionally asserts, at every restore, that the
+rebuilt address spaces are bit-identical to the state the failed run
+held at the recovered checkpoint's capture instant -- which, because
+faults have no effect before they fire, is exactly the state of a
+failure-free run at the same logical time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import ScientificApplication
+from repro.apps.registry import default_run_duration
+from repro.checkpoint import CheckpointEngine, RestartCoordinator
+from repro.checkpoint.coordinated import GlobalCheckpoint
+from repro.checkpoint.recovery import RecoveryManager
+from repro.cluster.experiment import ExperimentConfig
+from repro.errors import FaultPlanError, RecoveryError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.instrument import InstrumentationLibrary, TraceLog, TrackerConfig
+from repro.mem import AddressSpace, Layout
+from repro.metrics.failures import FailureRecord, FaultRunMetrics
+from repro.mpi import MPIJob
+from repro.sim import Engine
+from repro.storage import CheckpointStore
+
+
+@dataclass
+class LifeResult:
+    """One life of the job: launch (or restart) until completion or death."""
+
+    index: int
+    t_start: float
+    t_end: float
+    logs: dict[int, TraceLog]
+    store: CheckpointStore
+    committed: list[GlobalCheckpoint]
+    #: state signature snapped at each capture boundary: (rank, seq) -> sig
+    signatures: dict[tuple[int, int], dict] = field(repr=False,
+                                                    default_factory=dict)
+    #: absolute useful progress (seconds) at each capture boundary
+    progress_at: dict[int, float] = field(default_factory=dict)
+    iterations: int = 0
+    #: (life index, seq) this life was restored from; None for a fresh start
+    restored_from: Optional[tuple[int, int]] = None
+    #: absolute useful progress already banked when this life started
+    progress_before: float = 0.0
+    write_failures: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class FaultRunResult:
+    """Everything one fault-injection experiment produced."""
+
+    config: ExperimentConfig
+    plan: FaultPlan
+    lives: list[LifeResult]
+    failures: list[FailureRecord]
+    #: per failure: the restored address-space signatures {rank: sig}
+    restored_signatures: list[dict[int, dict]] = field(repr=False,
+                                                       default_factory=list)
+    final_time: float = 0.0
+
+    @property
+    def metrics(self) -> FaultRunMetrics:
+        return FaultRunMetrics.from_records(self.failures,
+                                            wall_time=self.final_time)
+
+    def mean_commit_latency(self) -> Optional[float]:
+        """Measured checkpoint cost C: mean request-to-commit latency
+        over every committed global checkpoint, all lives."""
+        lats = [gc.commit_latency
+                for life in self.lives for gc in life.committed]
+        if not lats:
+            return None
+        return sum(lats) / len(lats)
+
+    def logs_of_life(self, index: int = 0) -> dict[int, TraceLog]:
+        """Per-rank timeslice traces of one life."""
+        return self.lives[index].logs
+
+
+class FailureRecoveryDriver:
+    """Drives one configuration through a fault plan, life by life."""
+
+    def __init__(self, config: ExperimentConfig, plan: FaultPlan, *,
+                 interval_slices: int = 2, full_every: int = 4,
+                 detection_latency: float = 0.25,
+                 read_bandwidth: Optional[float] = None,
+                 verify: bool = True,
+                 max_failures: int = 1000):
+        plan.validate_for(config.nranks)
+        if detection_latency < 0:
+            raise FaultPlanError("detection latency must be >= 0")
+        if max_failures < 1:
+            raise FaultPlanError("max_failures must be >= 1")
+        self.config = config
+        self.plan = plan
+        self.interval_slices = interval_slices
+        self.full_every = full_every
+        self.detection_latency = detection_latency
+        self.read_bandwidth = read_bandwidth
+        self.verify = verify
+        self.max_failures = max_failures
+        # the same duration resolution as run_experiment, so an empty
+        # plan reproduces its traces byte for byte
+        duration = (config.run_duration if config.run_duration is not None
+                    else default_run_duration(config.spec))
+        self.total_duration = max(duration, 5.0 * config.timeslice)
+
+    # -- public -------------------------------------------------------------
+
+    def run(self) -> FaultRunResult:
+        """Run lives until the job completes; see the module docstring."""
+        result = FaultRunResult(config=self.config, plan=self.plan,
+                                lives=[], failures=[])
+        t_now = 0.0
+        progress_before = 0.0
+        restored_from: Optional[tuple[int, int]] = None
+
+        while True:
+            life = self._run_life(result, t_now, progress_before,
+                                  restored_from)
+            result.lives.append(life)
+            if life is not None and self._life_complete:
+                result.final_time = life.t_end
+                return result
+            if len(result.failures) >= self.max_failures:
+                raise RecoveryError(
+                    f"gave up after {self.max_failures} failures")
+            record, t_now, progress_before, restored_from = \
+                self._recover(result, life)
+            result.failures.append(record)
+
+    # -- one life -----------------------------------------------------------
+
+    def _run_life(self, result: FaultRunResult, t_start: float,
+                  progress_before: float,
+                  restored_from: Optional[tuple[int, int]]) -> LifeResult:
+        config = self.config
+        engine = Engine(start_time=t_start)
+        layout = Layout(page_size=config.page_size)
+        remaining = max(0.0, self.total_duration - progress_before)
+        app = ScientificApplication(config.spec, run_duration=remaining,
+                                    charge_overhead=config.charge_overhead,
+                                    layout=layout)
+        index = len(result.lives)
+        if restored_from is None:
+            job = MPIJob(engine, config.nranks, layout=layout,
+                         procs_per_node=config.procs_per_node,
+                         process_factory=app.process_factory(engine),
+                         name=config.spec.name)
+        else:
+            src_life, seq = restored_from
+            coordinator = RestartCoordinator(result.lives[src_life].store, app)
+            job = coordinator.restart(engine, seq=seq,
+                                      procs_per_node=config.procs_per_node,
+                                      name=f"{config.spec.name}.life{index}")
+        library = InstrumentationLibrary(
+            TrackerConfig(timeslice=config.timeslice,
+                          fault_cost=config.fault_cost,
+                          reprotect_cost_per_page=config.reprotect_cost_per_page,
+                          protect_on_map=config.protect_on_map,
+                          intercept_receives=config.intercept_receives),
+            app_name=config.spec.name).install(job)
+        if not config.intercept_receives:
+            for nic in job.nics:
+                nic.strict_dma = False
+        ckpt = CheckpointEngine(job, library,
+                                interval_slices=self.interval_slices,
+                                full_every=self.full_every)
+
+        life = LifeResult(index=index, t_start=t_start, t_end=t_start,
+                          logs={}, store=ckpt.store, committed=[],
+                          restored_from=restored_from,
+                          progress_before=progress_before)
+        self._install_probe(job, library, app, life, progress_before)
+        injector = FaultInjector(job, self.plan, disk_resolver=ckpt.disk,
+                                 stop_on_fatal=True)
+        injector.arm()
+        finished: list[int] = []
+
+        def on_fini(ctx):
+            finished.append(ctx.rank)
+            if len(finished) == config.nranks:
+                # job done: faults on an idle cluster are not failures,
+                # and must not stretch the clock while the queue drains
+                injector.disarm()
+
+        job.fini_hooks.append(on_fini)
+
+        if restored_from is None:
+            procs = job.launch(app.make_body())
+            if index > 0:
+                # from-scratch restart: nothing was restored
+                result.restored_signatures.append({})
+        else:
+            verify_hook = (self._make_verify_hook(result, restored_from)
+                           if self.verify else None)
+            restored: dict[int, dict] = {}
+
+            def on_restored(ctx, _hook=verify_hook):
+                restored[ctx.rank] = ctx.memory.state_signature()
+                if _hook is not None:
+                    _hook(ctx)
+
+            procs = coordinator.launch(job, on_restored=on_restored)
+            result.restored_signatures.append(restored)
+
+        self._drive(engine, injector, procs)
+        for p in procs:
+            if p.exception is not None:
+                raise p.exception
+
+        life.t_end = engine.now
+        life.logs = library.all_records()
+        life.committed = ckpt.committed()
+        life.write_failures = list(ckpt.write_failures)
+        life.iterations = (app.contexts[0].iterations
+                           if app.contexts else 0)
+        self._life_complete = not self._needs_recovery(injector, procs)
+        self._life_injector = injector
+        self._life_ckpt = ckpt
+        self._life_app = app
+        return life
+
+    def _drive(self, engine: Engine, injector: FaultInjector,
+               procs: list) -> None:
+        """Run the engine to completion, treating post-completion fatal
+        faults (the job already finished; the 'cluster' is idle) as
+        no-ops rather than failures."""
+        for _ in range(len(self.plan) + 2):
+            engine.run(detect_deadlock=True)
+            if engine.pending_events() == 0:
+                return
+            if self._needs_recovery(injector, procs):
+                return
+        raise RecoveryError("engine stopped repeatedly without progress")
+
+    @staticmethod
+    def _needs_recovery(injector: FaultInjector, procs: list) -> bool:
+        """A fatal fault landed while the job still had work in flight."""
+        return injector.fatal_delivered and any(p.alive for p in procs)
+
+    # -- probes -------------------------------------------------------------
+
+    def _install_probe(self, job: MPIJob, library: InstrumentationLibrary,
+                       app: ScientificApplication, life: LifeResult,
+                       progress_before: float) -> None:
+        """Snapshot state signatures and useful progress at every capture
+        boundary, *before* the checkpoint engine's listener runs (same
+        instant, identical state)."""
+        interval = self.interval_slices
+
+        def install(ctx):
+            tracker = library.tracker(ctx.rank)
+
+            def probe(record, trk, rank=ctx.rank):
+                if (record.index + 1) % interval != 0:
+                    return
+                seq = record.index
+                if self.verify:
+                    life.signatures[(rank, seq)] = \
+                        trk.process.memory.state_signature()
+                if rank == 0:
+                    rc0 = app.contexts[0] if app.contexts else None
+                    if rc0 is not None and rc0.iteration_starts:
+                        useful = max(0.0, record.t_end
+                                     - rc0.iteration_starts[0])
+                    else:
+                        useful = 0.0
+                    life.progress_at[seq] = progress_before + useful
+
+            tracker.slice_listeners.insert(0, probe)
+
+        job.init_hooks.append(install)
+
+    def _make_verify_hook(self, result: FaultRunResult,
+                          restored_from: tuple[int, int]):
+        """The headline guarantee, enforced at runtime: the restored
+        address space must be bit-identical to the one the serving life
+        held when the recovered checkpoint was captured."""
+        src_life, seq = restored_from
+        signatures = result.lives[src_life].signatures
+
+        def check(ctx):
+            want = signatures.get((ctx.rank, seq))
+            if want is None:
+                return  # signatures disabled for that life
+            got = ctx.memory.state_signature()
+            if not AddressSpace.signatures_equal(got, want):
+                raise RecoveryError(
+                    f"rank {ctx.rank} restored state differs from the "
+                    f"checkpoint captured at seq {seq} (life {src_life})")
+
+        return check
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self, result: FaultRunResult, life: LifeResult):
+        """Account one failure and decide where the next life starts."""
+        injector = self._life_injector
+        t_fail = injector.delivered[-1].time if injector.delivered else life.t_end
+        kind = next((e.kind.value for e in reversed(injector.delivered)
+                     if e.kind.fatal), "crash")
+        victims = tuple(injector.dead_ranks)
+        detected_at = t_fail + self.detection_latency
+
+        target = self._recovery_target(result)
+        progress_at_fail = self._progress_at(life, t_fail)
+        if target is None:
+            # nothing committed anywhere: start over from scratch
+            restore_time = 0.0
+            recovered_seq = None
+            recovery_life = None
+            progress_restored = 0.0
+            restored_from = None
+        else:
+            recovery_life, recovered_seq = target
+            src = result.lives[recovery_life]
+            manager = RecoveryManager(src.store)
+            bw = (self.read_bandwidth if self.read_bandwidth is not None
+                  else self.config.cluster.disk.bandwidth)
+            restore_time = max(
+                manager.estimated_restore_time(rank, bw, seq=recovered_seq)
+                for rank in range(self.config.nranks))
+            progress_restored = src.progress_at.get(recovered_seq, 0.0)
+            restored_from = target
+        lost_work = max(0.0, progress_at_fail - progress_restored)
+        downtime = self.detection_latency + restore_time
+        restarted_at = t_fail + downtime
+        record = FailureRecord(
+            time=t_fail, kind=kind, victims=victims,
+            detected_at=detected_at, recovered_seq=recovered_seq,
+            recovery_life=recovery_life, lost_work=lost_work,
+            restore_time=restore_time, downtime=downtime,
+            restarted_at=restarted_at)
+        return record, restarted_at, progress_restored, restored_from
+
+    def _recovery_target(self,
+                         result: FaultRunResult) -> Optional[tuple[int, int]]:
+        """Newest committed global checkpoint across all lives."""
+        for life in reversed(result.lives):
+            seq = life.store.latest_committed()
+            if seq is not None:
+                return (life.index, seq)
+        return None
+
+    def _progress_at(self, life: LifeResult, t: float) -> float:
+        """Absolute useful progress the failed life had reached at ``t``:
+        what it inherited at restore, plus iteration time since."""
+        app = self._life_app
+        rc0 = app.contexts[0] if app.contexts else None
+        if rc0 is not None and rc0.iteration_starts:
+            return life.progress_before + max(0.0, t - rc0.iteration_starts[0])
+        return life.progress_before
+
+
+def run_with_failures(config: ExperimentConfig,
+                      plan: FaultPlan, *,
+                      interval_slices: int = 2, full_every: int = 4,
+                      detection_latency: float = 0.25,
+                      read_bandwidth: Optional[float] = None,
+                      verify: bool = True,
+                      max_failures: int = 1000) -> FaultRunResult:
+    """Run one experiment under a fault plan; see
+    :class:`FailureRecoveryDriver`.
+
+    Same config + same plan ⇒ identical traces, failure records, and
+    metrics; an empty plan reproduces
+    :func:`~repro.cluster.experiment.run_experiment`'s traces byte for
+    byte.
+    """
+    return FailureRecoveryDriver(
+        config, plan, interval_slices=interval_slices,
+        full_every=full_every, detection_latency=detection_latency,
+        read_bandwidth=read_bandwidth, verify=verify,
+        max_failures=max_failures).run()

@@ -19,7 +19,9 @@ from repro.feasibility.availability import (
     FailureModel,
     efficiency,
     efficiency_curve,
+    observed_efficiency,
     optimal_efficiency,
+    predicted_vs_observed,
     scale_study,
     young_interval,
 )
@@ -35,7 +37,9 @@ __all__ = [
     "TrendModel",
     "efficiency",
     "efficiency_curve",
+    "observed_efficiency",
     "optimal_efficiency",
+    "predicted_vs_observed",
     "scale_study",
     "young_interval",
 ]

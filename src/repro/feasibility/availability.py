@@ -110,6 +110,38 @@ def efficiency_curve(cost: float, failures: FailureModel,
     return [(tau, efficiency(tau, cost, failures)) for tau in intervals]
 
 
+def observed_efficiency(wall_time: float, total_downtime: float,
+                        total_lost_work: float) -> float:
+    """Empirical efficiency of one fault-injection run: the fraction of
+    wall time spent on useful work (neither down nor later recomputed).
+    The measured counterpart of :func:`efficiency`."""
+    if wall_time <= 0:
+        raise ConfigurationError("wall time must be positive")
+    if total_downtime < 0 or total_lost_work < 0:
+        raise ConfigurationError("downtime and lost work must be >= 0")
+    waste = total_downtime + total_lost_work
+    if waste > wall_time:
+        raise ConfigurationError("waste cannot exceed the wall time")
+    return (wall_time - waste) / wall_time
+
+
+def predicted_vs_observed(interval: float, cost: float,
+                          failures: FailureModel,
+                          observed: float) -> dict:
+    """Close the loop between the analytic model and a measured
+    fault-injection run: the Young/Daly prediction at the run's actual
+    checkpoint interval, the observation, and their gap."""
+    predicted = efficiency(interval, cost, failures)
+    return {
+        "interval": interval,
+        "checkpoint_cost": cost,
+        "system_mtbf": failures.system_mtbf,
+        "predicted_efficiency": predicted,
+        "observed_efficiency": observed,
+        "gap": observed - predicted,
+    }
+
+
 def scale_study(delta_bytes: int, storage_bandwidth: float,
                 node_mtbf: float, node_counts: list[int],
                 restart_time: float = 300.0) -> list[dict]:

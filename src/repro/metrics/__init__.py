@@ -9,16 +9,21 @@
 - :mod:`~repro.metrics.bursts` -- processing/communication burst
   segmentation of a timeslice series;
 - :mod:`~repro.metrics.stats` -- run-level summaries (multi-run
-  averaging with first-run omission, footprint statistics).
+  averaging with first-run omission, footprint statistics);
+- :mod:`~repro.metrics.failures` -- lost-work/downtime/availability
+  accounting for fault-injection runs (:mod:`repro.faults`).
 """
 
 from repro.metrics.bandwidth import IBStats, ib_stats, iws_ratio
 from repro.metrics.bursts import Burst, burst_duty_cycle, detect_bursts
+from repro.metrics.failures import FailureRecord, FaultRunMetrics
 from repro.metrics.period import estimate_period, fraction_overwritten
 from repro.metrics.stats import FootprintStats, footprint_stats, mean_omitting_first
 
 __all__ = [
     "Burst",
+    "FailureRecord",
+    "FaultRunMetrics",
     "FootprintStats",
     "IBStats",
     "burst_duty_cycle",

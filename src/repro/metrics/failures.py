@@ -1,0 +1,101 @@
+"""Failure and recovery accounting for fault-injection runs.
+
+The fault-injection driver (:mod:`repro.faults`) records one
+:class:`FailureRecord` per delivered fatal fault; :class:`FaultRunMetrics`
+aggregates them into the quantities the availability model
+(:mod:`repro.feasibility.availability`) predicts analytically:
+
+- **lost work**: useful computation between the last committed global
+  checkpoint and the failure instant, which must be recomputed;
+- **downtime**: detection latency plus the time to read the recovery
+  chain back from stable storage and relaunch;
+- **availability**: fraction of wall time the machine was up;
+- **efficiency**: fraction of wall time spent on *useful* (not
+  recomputed, not down) work -- directly comparable to the Young/Daly
+  first-order model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One delivered fatal fault and the recovery it triggered."""
+
+    time: float                   #: virtual time the fault fired
+    kind: str                     #: fault kind ("crash", "nic", ...)
+    victims: tuple[int, ...]      #: ranks lost to this fault
+    detected_at: float            #: when the runtime noticed
+    recovered_seq: Optional[int]  #: committed sequence rolled back to
+    #: which life's store served the chain (None: restarted from scratch)
+    recovery_life: Optional[int]
+    lost_work: float              #: useful seconds to be recomputed
+    restore_time: float           #: reading the chain from storage
+    downtime: float               #: fault -> computation resumed
+    restarted_at: float           #: when the next life began
+
+    def __post_init__(self) -> None:
+        if self.lost_work < 0 or self.restore_time < 0 or self.downtime < 0:
+            raise ConfigurationError(
+                "lost work, restore time, and downtime must be >= 0")
+        if not self.victims:
+            raise ConfigurationError("a failure needs at least one victim")
+
+
+@dataclass(frozen=True)
+class FaultRunMetrics:
+    """Aggregate outcome of one run under failures."""
+
+    wall_time: float              #: total virtual time, downtime included
+    n_failures: int
+    total_lost_work: float
+    total_downtime: float
+    total_restore_time: float
+    #: failures recovered without any committed checkpoint (full rerun)
+    from_scratch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wall_time <= 0:
+            raise ConfigurationError("wall time must be positive")
+        if self.total_lost_work + self.total_downtime > self.wall_time:
+            raise ConfigurationError(
+                "lost work plus downtime cannot exceed the wall time")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of wall time the machine was up (downtime excluded)."""
+        return (self.wall_time - self.total_downtime) / self.wall_time
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of wall time doing useful, never-recomputed work --
+        the empirical counterpart of
+        :func:`repro.feasibility.availability.efficiency`."""
+        useful = self.wall_time - self.total_downtime - self.total_lost_work
+        return useful / self.wall_time
+
+    @classmethod
+    def from_records(cls, records: list[FailureRecord],
+                     wall_time: float) -> "FaultRunMetrics":
+        """Aggregate per-failure records over a run of ``wall_time``."""
+        return cls(
+            wall_time=wall_time,
+            n_failures=len(records),
+            total_lost_work=sum(r.lost_work for r in records),
+            total_downtime=sum(r.downtime for r in records),
+            total_restore_time=sum(r.restore_time for r in records),
+            from_scratch=sum(1 for r in records if r.recovered_seq is None),
+        )
+
+    def as_row(self) -> str:
+        """One summary line for reports and the CLI."""
+        return (f"failures={self.n_failures} "
+                f"lost={self.total_lost_work:.2f}s "
+                f"down={self.total_downtime:.2f}s "
+                f"availability={self.availability:.2%} "
+                f"efficiency={self.efficiency:.2%}")

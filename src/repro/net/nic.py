@@ -59,9 +59,19 @@ class NIC:
         self.bytes_received = 0
         self.messages_received = 0
         self.dma_missed_pages = 0
+        #: fault-injection state: a failed NIC delivers nothing, and a
+        #: positive drop budget silently discards the next messages
+        self.failed = False
+        self.messages_dropped = 0
+        self._drop_budget = 0
         network.attach(node, self._receive)
 
     def _receive(self, msg: Message) -> None:
+        if self.failed or self._drop_budget > 0:
+            if not self.failed:
+                self._drop_budget -= 1
+            self.messages_dropped += 1
+            return
         self.bytes_received += msg.size
         self.messages_received += 1
         if self.on_message is not None:
@@ -103,6 +113,24 @@ class NIC:
     def detach(self) -> None:
         """Take this NIC off the network (node failure)."""
         self.network.detach(self.node)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def drop_next(self, count: int = 1) -> None:
+        """Discard the next ``count`` incoming messages (transient NIC
+        fault).  The sender is not notified -- exactly the silent loss
+        that makes an unacknowledged message protocol hang."""
+        if count < 1:
+            raise NetworkError(f"drop count must be >= 1, got {count}")
+        self._drop_budget += count
+
+    def fail(self) -> None:
+        """Permanent NIC failure: detach from the fabric and discard any
+        message already queued toward this node.  Idempotent."""
+        if self.failed:
+            return
+        self.failed = True
+        self.detach()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NIC node={self.node} rx={self.messages_received}msgs>"

@@ -104,6 +104,7 @@ class Engine:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
+        self._stop_requested = False
         self._live_processes = 0  # maintained by SimProcess
         self._n_cancelled = 0     # cancelled entries still in the heap
 
@@ -153,6 +154,18 @@ class Engine:
 
     # -- execution ----------------------------------------------------------
 
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current
+        event.  The queue is left intact, so a later ``run`` resumes from
+        exactly the stopped instant -- the seam the fault-injection
+        driver uses to regain control at the moment a failure fires."""
+        self._stop_requested = True
+
+    @property
+    def stopped(self) -> bool:
+        """True when the last :meth:`run` returned because of :meth:`stop`."""
+        return self._stop_requested
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         heap = self._heap
@@ -195,6 +208,7 @@ class Engine:
         heap = self._heap
         heappop = heapq.heappop
         self._running = True
+        self._stop_requested = False
         try:
             while heap:
                 entry = heap[0]
@@ -209,9 +223,11 @@ class Engine:
                 ev._engine = None
                 self._now = entry[0]
                 ev.fn(*ev.args)
+                if self._stop_requested:
+                    break
         finally:
             self._running = False
-        if until is not None and self._now < until:
+        if until is not None and self._now < until and not self._stop_requested:
             self._now = until
         if detect_deadlock and not self._heap and self._live_processes > 0:
             raise DeadlockError(

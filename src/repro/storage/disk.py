@@ -24,9 +24,17 @@ class Disk:
         self.bytes_written = 0
         self.ops = 0
         self.busy_time = 0.0
+        self._fail_budget = 0
+        self.writes_failed = 0
 
     def write(self, nbytes: int) -> Future:
-        """Enqueue a write of ``nbytes``; returns a completion future."""
+        """Enqueue a write of ``nbytes``; returns a completion future.
+
+        The future resolves with the completion time on success, or with
+        ``None`` when the write was hit by an injected media failure (the
+        data never reached stable storage; the disk still spent the
+        time).
+        """
         if nbytes < 0:
             raise StorageError(f"negative write size {nbytes}")
         now = self.engine.now
@@ -34,12 +42,24 @@ class Disk:
         duration = self.spec.write_time(nbytes)
         done_at = start + duration
         self._free_at = done_at
-        self.bytes_written += nbytes
         self.ops += 1
         self.busy_time += duration
         fut = Future(self.engine, label=f"{self.name}.write#{self.ops}")
-        self.engine.schedule_at(done_at, fut.resolve, done_at)
+        if self._fail_budget > 0:
+            self._fail_budget -= 1
+            self.writes_failed += 1
+            self.engine.schedule_at(done_at, fut.resolve, None)
+        else:
+            self.bytes_written += nbytes
+            self.engine.schedule_at(done_at, fut.resolve, done_at)
         return fut
+
+    def fail_next_writes(self, count: int = 1) -> None:
+        """Fault injection: the next ``count`` writes fail (their futures
+        resolve with ``None`` instead of a completion time)."""
+        if count < 1:
+            raise StorageError(f"failure count must be >= 1, got {count}")
+        self._fail_budget += count
 
     def queue_delay(self) -> float:
         """How long a write issued now would wait before starting."""

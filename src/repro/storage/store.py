@@ -109,6 +109,21 @@ class CheckpointStore:
 
     # -- maintenance --------------------------------------------------------------
 
+    def discard(self, rank: int, seq: int) -> int:
+        """Remove one rank's piece for ``seq`` (its stable-storage write
+        failed, so the store must not pretend the data is recoverable).
+        Committed sequences cannot be discarded.  Returns bytes dropped.
+        """
+        self._check_rank(rank)
+        if seq in self._committed:
+            raise StorageError(f"cannot discard committed sequence {seq}")
+        chain = self._chains[rank]
+        for i, obj in enumerate(chain):
+            if obj.seq == seq:
+                del chain[i]
+                return obj.nbytes
+        raise StorageError(f"rank {rank} has no piece for seq {seq}")
+
     def truncate(self, rank: int, before_seq: int) -> int:
         """Drop pieces with ``seq < before_seq`` (after a new full
         checkpoint makes them unreachable).  Returns bytes reclaimed."""

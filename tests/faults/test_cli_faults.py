@@ -1,0 +1,94 @@
+"""``repro faults run``: argument validation and output."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_faults_run_with_mtbf():
+    code, text = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                         "--duration", "8", "--timeslice", "0.5",
+                         "--mtbf", "6", "--seed", "3")
+    assert code == 0
+    assert "planned fault(s)" in text
+    assert "availability=" in text
+    assert "efficiency=" in text
+
+
+def test_faults_run_same_seed_same_output():
+    args = ("faults", "run", "--app", "lu", "--ranks", "2",
+            "--duration", "8", "--timeslice", "0.5",
+            "--mtbf", "6", "--seed", "3")
+    assert run_cli(*args) == run_cli(*args)
+
+
+def test_faults_run_with_plan_file(tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"events": [
+        {"time": 3.0, "kind": "crash", "rank": 1}]}))
+    code, text = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                         "--duration", "8", "--timeslice", "0.5",
+                         "--plan", str(plan))
+    assert code == 0
+    assert "1 planned fault(s)" in text
+    assert "rolled back to" in text
+
+
+def test_faults_run_missing_plan_file(tmp_path, capsys):
+    code, _ = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                      "--plan", str(tmp_path / "nope.json"))
+    assert code == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_faults_run_invalid_plan_json(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    code, _ = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                      "--plan", str(bad))
+    assert code == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_faults_run_plan_rank_out_of_range(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"events": [
+        {"time": 1.0, "kind": "crash", "rank": 9}]}))
+    code, _ = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                      "--plan", str(plan))
+    assert code == 2
+    assert "only 2 ranks" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    # neither --mtbf nor --plan
+    ("faults", "run", "--app", "lu"),
+    # both at once
+    ("faults", "run", "--app", "lu", "--mtbf", "5", "--plan", "x.json"),
+    # non-positive or malformed numbers
+    ("faults", "run", "--app", "lu", "--mtbf", "0"),
+    ("faults", "run", "--app", "lu", "--mtbf", "-3"),
+    ("faults", "run", "--app", "lu", "--mtbf", "soon"),
+    ("faults", "run", "--app", "lu", "--mtbf", "5", "--seed", "1.5"),
+    ("faults", "run", "--app", "lu", "--mtbf", "5", "--interval", "0"),
+    ("faults", "run", "--app", "lu", "--mtbf", "5", "--full-every", "0"),
+    ("faults", "run", "--app", "lu", "--mtbf", "5",
+     "--detect-latency", "-0.1"),
+    ("faults", "run", "--app", "lu", "--mtbf", "5", "--timeslice", "0"),
+    # unknown app / missing subcommand
+    ("faults", "run", "--app", "nosuchapp", "--mtbf", "5"),
+    ("faults",),
+])
+def test_faults_run_bad_arguments_exit_2(argv):
+    with pytest.raises(SystemExit) as exc:
+        main(list(argv))
+    assert exc.value.code == 2

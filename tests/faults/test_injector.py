@@ -1,0 +1,120 @@
+"""The injector: scheduling, delivery per kind, stop-on-fatal semantics."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, small_spec
+from repro.errors import FaultPlanError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.mpi import MPIJob
+from repro.sim import Engine
+
+SPEC = small_spec(name="inj", footprint_mb=4, main_mb=2, period=0.5,
+                  passes=1.0, comm_mb=0.1)
+
+
+def make_job(nranks=2, start_time=0.0):
+    engine = Engine(start_time=start_time)
+    app = SyntheticApp(SPEC, n_iterations=1000)
+    job = MPIJob(engine, nranks, process_factory=app.process_factory(engine))
+    return engine, app, job
+
+
+def test_arm_schedules_future_and_skips_past_events():
+    engine, app, job = make_job(start_time=5.0)
+    plan = FaultPlan([FaultEvent(1.0, FaultKind.CRASH, 0),   # in the past
+                      FaultEvent(5.0, FaultKind.CRASH, 0),   # not strictly later
+                      FaultEvent(9.0, FaultKind.CRASH, 1)])
+    inj = FaultInjector(job, plan)
+    assert inj.arm() == 1
+    assert [e.time for e in inj.skipped] == [1.0, 5.0]
+    with pytest.raises(FaultPlanError):
+        inj.arm()
+
+
+def test_crash_kills_rank_and_stops_engine():
+    engine, app, job = make_job()
+    procs = job.launch(app.make_body())
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.8, FaultKind.CRASH, 1)]))
+    inj.arm()
+    engine.run(until=3.0)
+    assert engine.now == 0.8             # stopped at the failure instant
+    assert engine.stopped
+    assert not procs[1].alive
+    assert procs[0].alive
+    assert inj.dead_ranks == [1]
+    assert inj.fatal_delivered
+    assert [e.time for e in inj.delivered] == [0.8]
+
+
+def test_nic_fault_fails_nic_and_kills_rank():
+    engine, app, job = make_job()
+    procs = job.launch(app.make_body())
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.6, FaultKind.NIC, 0)]))
+    inj.arm()
+    engine.run(until=3.0)
+    assert job.nics[0].failed
+    assert not procs[0].alive
+    assert inj.dead_ranks == [0]
+
+
+def test_fault_on_dead_rank_is_skipped():
+    engine, app, job = make_job()
+    job.launch(app.make_body())
+    plan = FaultPlan([FaultEvent(0.5, FaultKind.CRASH, 1),
+                      FaultEvent(0.7, FaultKind.CRASH, 1)])
+    inj = FaultInjector(job, plan, stop_on_fatal=False)
+    inj.arm()
+    engine.run(until=1.0)
+    assert [e.time for e in inj.delivered] == [0.5]
+    assert [e.time for e in inj.skipped] == [0.7]
+    assert inj.dead_ranks == [1]
+
+
+def test_stop_on_fatal_false_keeps_running():
+    engine, app, job = make_job()
+    job.launch(app.make_body())
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.5, FaultKind.CRASH, 1)]),
+                        stop_on_fatal=False)
+    inj.arm()
+    engine.run(until=2.0)
+    assert engine.now == 2.0
+    assert not engine.stopped
+
+
+def test_disk_fault_needs_resolver_and_uses_it():
+    engine, app, job = make_job()
+    job.launch(app.make_body())
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.5, FaultKind.DISK, 0)]))
+    inj.arm()
+    with pytest.raises(FaultPlanError):
+        engine.run(until=1.0)
+
+    engine, app, job = make_job()
+    job.launch(app.make_body())
+    calls = []
+
+    class FakeDisk:
+        def fail_next_writes(self, count):
+            calls.append(count)
+
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.5, FaultKind.DISK, 0,
+                                                   count=3)]),
+                        disk_resolver=lambda rank: FakeDisk())
+    inj.arm()
+    engine.run(until=1.0)
+    assert calls == [3]
+    assert not inj.fatal_delivered   # transient: the run keeps going
+    assert engine.now == 1.0
+
+
+def test_on_fault_callback_and_plan_validation():
+    engine, app, job = make_job(nranks=2)
+    with pytest.raises(FaultPlanError):
+        FaultInjector(job, FaultPlan([FaultEvent(1.0, FaultKind.CRASH, 7)]))
+    seen = []
+    inj = FaultInjector(job, FaultPlan([FaultEvent(0.4, FaultKind.CRASH, 0)]),
+                        on_fault=seen.append)
+    inj.arm()
+    job.launch(app.make_body())
+    engine.run(until=1.0)
+    assert [e.rank for e in seen] == [0]

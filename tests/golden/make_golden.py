@@ -1,0 +1,82 @@
+"""Regenerate the golden reference files in this directory.
+
+Run from the repository root after an *intentional* behaviour change:
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+The goldens pin down two things end to end: the instrumented IWS/IB
+trace of one small synthetic configuration, and the failure records +
+metrics of one seeded fault-injection run on it.  Every value is exact
+(the simulator is deterministic); the tests assert equality, not
+tolerance.
+"""
+
+import json
+from pathlib import Path
+
+from repro.apps.synthetic import small_spec
+from repro.cluster.experiment import ExperimentConfig, run_experiment
+from repro.faults import FaultPlan, run_with_failures
+
+HERE = Path(__file__).parent
+
+SPEC = small_spec(name="golden", footprint_mb=6, main_mb=3, period=1.0,
+                  passes=1.5, comm_mb=0.25, sub_bursts=1)
+CONFIG = ExperimentConfig(spec=SPEC, nranks=2, timeslice=0.5,
+                          run_duration=8.0)
+PLAN = FaultPlan.exponential(mtbf=4.0, nranks=2, horizon=25.0, seed=9)
+
+
+def trace_payload() -> dict:
+    result = run_experiment(CONFIG)
+    return {
+        "final_time": result.final_time,
+        "init_end_time": result.init_end_time,
+        "iterations": result.iterations,
+        "ranks": {
+            str(rank): [
+                {"index": r.index, "t_start": r.t_start, "t_end": r.t_end,
+                 "iws_bytes": r.iws_bytes, "footprint_bytes": r.footprint_bytes,
+                 "faults": r.faults, "received_bytes": r.received_bytes}
+                for r in log.records
+            ]
+            for rank, log in sorted(result.logs.items())
+        },
+    }
+
+
+def faults_payload() -> dict:
+    res = run_with_failures(CONFIG, PLAN, interval_slices=2, full_every=3)
+    m = res.metrics
+    return {
+        "planned_events": [e.as_dict() for e in PLAN],
+        "final_time": res.final_time,
+        "n_lives": len(res.lives),
+        "failures": [
+            {"time": r.time, "kind": r.kind, "victims": list(r.victims),
+             "recovered_seq": r.recovered_seq,
+             "recovery_life": r.recovery_life, "lost_work": r.lost_work,
+             "restore_time": r.restore_time, "downtime": r.downtime,
+             "restarted_at": r.restarted_at}
+            for r in res.failures
+        ],
+        "metrics": {"wall_time": m.wall_time, "n_failures": m.n_failures,
+                    "total_lost_work": m.total_lost_work,
+                    "total_downtime": m.total_downtime,
+                    "total_restore_time": m.total_restore_time,
+                    "from_scratch": m.from_scratch,
+                    "availability": m.availability,
+                    "efficiency": m.efficiency},
+    }
+
+
+def main() -> None:
+    for name, payload in (("golden_trace.json", trace_payload()),
+                          ("golden_faults.json", faults_payload())):
+        path = HERE / name
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Golden-trace regression: the simulator's output is pinned exactly.
+
+The committed JSON files are bit-exact references (the simulator is
+deterministic; no tolerances).  If an intentional change shifts them,
+regenerate with ``PYTHONPATH=src python tests/golden/make_golden.py``
+and review the diff -- an *unintentional* shift here means the physics
+of the reproduction changed.
+"""
+
+import json
+from pathlib import Path
+
+from tests.golden.make_golden import faults_payload, trace_payload
+
+HERE = Path(__file__).parent
+
+
+def load(name):
+    return json.loads((HERE / name).read_text())
+
+
+def test_trace_matches_golden_exactly():
+    golden = load("golden_trace.json")
+    current = json.loads(json.dumps(trace_payload()))  # normalize types
+    assert current["final_time"] == golden["final_time"]
+    assert current["iterations"] == golden["iterations"]
+    assert current["init_end_time"] == golden["init_end_time"]
+    assert sorted(current["ranks"]) == sorted(golden["ranks"])
+    for rank, records in golden["ranks"].items():
+        got = current["ranks"][rank]
+        assert len(got) == len(records), f"rank {rank} slice count"
+        for i, (g, w) in enumerate(zip(got, records)):
+            assert g == w, f"rank {rank} slice {i}"
+
+
+def test_fault_run_matches_golden_exactly():
+    golden = load("golden_faults.json")
+    current = json.loads(json.dumps(faults_payload()))
+    assert current["planned_events"] == golden["planned_events"]
+    assert current["n_lives"] == golden["n_lives"]
+    assert current["final_time"] == golden["final_time"]
+    assert len(current["failures"]) == len(golden["failures"])
+    for i, (g, w) in enumerate(zip(current["failures"],
+                                   golden["failures"])):
+        assert g == w, f"failure {i}"
+    assert current["metrics"] == golden["metrics"]
+
+
+def test_golden_fault_run_actually_recovers():
+    # guard against the golden being regenerated into a trivial run
+    golden = load("golden_faults.json")
+    assert len(golden["failures"]) >= 2
+    assert golden["n_lives"] == len(golden["failures"]) + 1
+    assert golden["metrics"]["availability"] < 1.0

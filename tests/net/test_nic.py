@@ -103,3 +103,32 @@ def test_detach_stops_delivery():
     net.send(Message(src=0, dst=1, size=64))
     eng.run()
     assert got == []
+
+
+def test_drop_next_discards_messages_silently():
+    eng, net, proc, nic = make_nic()
+    got = []
+    nic.on_message = got.append
+    nic.drop_next(1)
+    net.send(Message(src=0, dst=1, size=64))
+    net.send(Message(src=0, dst=1, size=64))
+    eng.run()
+    assert len(got) == 1                  # first message was dropped
+    assert nic.messages_dropped == 1
+    assert nic.messages_received == 1
+    with pytest.raises(NetworkError):
+        nic.drop_next(0)
+
+
+def test_fail_detaches_and_discards_everything():
+    eng, net, proc, nic = make_nic()
+    got = []
+    nic.on_message = got.append
+    net.send(Message(src=0, dst=1, size=64))   # in flight at failure time
+    nic.fail()
+    nic.fail()                                 # idempotent
+    assert nic.failed
+    net.send(Message(src=0, dst=1, size=64))   # detached: silently lost
+    eng.run()
+    assert got == []
+    assert nic.messages_received == 0

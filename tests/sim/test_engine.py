@@ -140,3 +140,30 @@ def test_no_deadlock_when_processes_finish():
 
     SimProcess(eng, body(), name="ok")
     eng.run(detect_deadlock=True)  # should not raise
+
+
+def test_stop_returns_midrun_and_preserves_queue():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(2.0, lambda: (fired.append(2), eng.stop()))
+    eng.schedule(3.0, lambda: fired.append(3))
+    eng.run(until=10.0)
+    assert fired == [1, 2]
+    assert eng.stopped
+    assert eng.now == 2.0           # no fast-forward to `until` on stop
+    assert eng.pending_events() == 1
+    eng.run()                        # resumes from the stopped instant
+    assert fired == [1, 2, 3]
+    assert not eng.stopped
+
+
+def test_stop_flag_resets_on_next_run():
+    eng = Engine()
+    eng.schedule(1.0, eng.stop)
+    eng.run()
+    assert eng.stopped
+    eng.schedule(1.0, lambda: None)
+    eng.run(until=5.0)
+    assert not eng.stopped
+    assert eng.now == 5.0

@@ -117,3 +117,38 @@ def test_array_validation():
     arr = StorageArray(eng, 2)
     with pytest.raises(StorageError):
         arr.write(-1)
+
+
+def test_fail_next_writes_resolves_none_and_counts():
+    eng = Engine()
+    disk = Disk(eng, DiskSpec("t", bandwidth=100.0, seek_latency=0.5))
+    disk.fail_next_writes(1)
+    got = []
+    disk.write(100).add_callback(got.append)
+    disk.write(100).add_callback(got.append)
+    eng.run()
+    assert got[0] is None                 # injected failure
+    assert got[1] == pytest.approx(3.0)   # FIFO: queued behind the failure
+    assert disk.writes_failed == 1
+    assert disk.ops == 2
+    assert disk.bytes_written == 100      # lost bytes never count
+    assert disk.busy_time == pytest.approx(3.0)  # the disk still spun
+
+
+def test_fail_next_writes_budget_accumulates():
+    eng = Engine()
+    disk = Disk(eng, SCSI_ULTRA320)
+    disk.fail_next_writes(2)
+    results = []
+    for _ in range(3):
+        disk.write(10).add_callback(results.append)
+    eng.run()
+    assert results[0] is None and results[1] is None
+    assert results[2] is not None
+    assert disk.writes_failed == 2
+
+
+def test_fail_next_writes_validation():
+    disk = Disk(Engine(), SCSI_ULTRA320)
+    with pytest.raises(StorageError):
+        disk.fail_next_writes(0)

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Coverage gate: run the test suite under coverage and fail below a floor.
+
+Prefers ``pytest-cov`` / ``coverage.py`` when importable; otherwise falls
+back to the stdlib ``trace`` module, restricted to ``src/repro``, so the
+gate works in hermetic environments with no third-party coverage tooling
+installed.  Either way it writes a line-oriented report and exits
+non-zero when total statement coverage is under ``--min``.
+
+Usage:
+
+    PYTHONPATH=src python tools/coverage_gate.py --min 70 \
+        --report coverage-report.txt [pytest args...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+PKG = SRC / "repro"
+
+
+def has_coverage_py() -> bool:
+    try:
+        import coverage  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def run_with_coverage_py(pytest_args: list[str], report: Path) -> float:
+    """The fast path: coverage.py (as installed by pytest-cov)."""
+    import coverage
+
+    cov = coverage.Coverage(source=[str(PKG)])
+    cov.start()
+    import pytest
+
+    code = pytest.main(["-q", *pytest_args])
+    cov.stop()
+    cov.save()
+    if code != 0:
+        print(f"test suite failed (exit {code}); coverage not gated",
+              file=sys.stderr)
+        sys.exit(code)
+    with report.open("w") as fh:
+        percent = cov.report(file=fh, show_missing=False)
+    return percent
+
+
+def run_with_stdlib_trace(pytest_args: list[str], report: Path) -> float:
+    """The hermetic fallback: stdlib ``trace`` in a child process, counted
+    over every python file under src/repro."""
+    counts_dir = ROOT / ".coverage-trace"
+    counts_dir.mkdir(exist_ok=True)
+    runner = (
+        "import sys, trace\n"
+        "import pytest\n"
+        f"tracer = trace.Trace(count=True, trace=False,\n"
+        f"                     ignoredirs=[sys.prefix, sys.exec_prefix])\n"
+        f"code = tracer.runfunc(pytest.main, ['-q', *{pytest_args!r}])\n"
+        f"tracer.results().write_results(show_missing=False,\n"
+        f"                               coverdir={str(counts_dir)!r})\n"
+        "sys.exit(code or 0)\n"
+    )
+    env_path = f"{SRC}"
+    proc = subprocess.run([sys.executable, "-c", runner], cwd=ROOT,
+                          env={**_base_env(), "PYTHONPATH": env_path})
+    if proc.returncode != 0:
+        print(f"test suite failed (exit {proc.returncode}); "
+              "coverage not gated", file=sys.stderr)
+        sys.exit(proc.returncode)
+    return _report_from_cover_files(counts_dir, report)
+
+
+def _base_env() -> dict:
+    import os
+
+    return dict(os.environ)
+
+
+def _report_from_cover_files(counts_dir: Path, report: Path) -> float:
+    """Aggregate ``trace``'s .cover files into per-module percentages.
+
+    ``trace`` annotates executed lines with a count and *executable but
+    never executed* lines with ``>>>>>>``; everything else is
+    non-executable (blank lines, comments, docstring bodies...).
+    """
+    rows = []
+    total_exec = total_hit = 0
+    module_files = sorted(PKG.rglob("*.py"))
+    for py in module_files:
+        rel = py.relative_to(SRC)
+        cover_name = ".".join(rel.with_suffix("").parts) + ".cover"
+        cover = counts_dir / cover_name
+        if not cover.exists():
+            # module never imported by the suite: all its lines count as
+            # missed, measured from the source itself
+            missed = _executable_line_estimate(py)
+            rows.append((str(rel), missed, 0))
+            total_exec += missed
+            continue
+        hit = missed = 0
+        for line in cover.read_text().splitlines():
+            head = line[:7]
+            if head.strip().rstrip(":").isdigit():
+                hit += 1
+            elif head.strip() == ">>>>>>":
+                missed += 1
+        rows.append((str(rel), hit + missed, hit))
+        total_exec += hit + missed
+        total_hit += hit
+    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    with report.open("w") as fh:
+        print(f"{'module':58s} {'stmts':>6s} {'cover':>7s}", file=fh)
+        for name, stmts, hit in rows:
+            pct = 100.0 * hit / stmts if stmts else 100.0
+            print(f"{name:58s} {stmts:6d} {pct:6.1f}%", file=fh)
+        print(f"{'TOTAL':58s} {total_exec:6d} {percent:6.1f}%", file=fh)
+    return percent
+
+
+def _executable_line_estimate(py: Path) -> int:
+    """Rough executable-line count for never-imported modules: non-blank,
+    non-comment source lines."""
+    n = 0
+    for line in py.read_text().splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            n += 1
+    return n
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min", type=float, default=70.0,
+                        help="fail when total coverage is below this %%")
+    parser.add_argument("--report", default="coverage-report.txt",
+                        help="where to write the line report")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments passed to pytest")
+    args = parser.parse_args()
+    report = Path(args.report)
+
+    if has_coverage_py():
+        backend = "coverage.py"
+        percent = run_with_coverage_py(args.pytest_args, report)
+    else:
+        backend = "stdlib trace (fallback)"
+        percent = run_with_stdlib_trace(args.pytest_args, report)
+
+    print(f"coverage ({backend}): {percent:.1f}% "
+          f"(floor {args.min:.1f}%), report: {report}")
+    if percent < args.min:
+        print(f"FAIL: coverage {percent:.1f}% is below the "
+              f"{args.min:.1f}% floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
