@@ -12,7 +12,12 @@ trajectory to compare against:
 3. **sweep** -- the full Fig-2 timeslice sweep (6 panels x 6
    timeslices, 2 ranks) cold-serial, cold-parallel (``--jobs``), and
    warm from the persistent result cache, with a bit-identical
-   determinism check across all three.
+   determinism check across all three;
+4. **obs** -- the observability tax: the same experiment bare, with a
+   disabled :class:`repro.obs.Observability` attached (must be free;
+   gated separately by ``tools/check_obs_overhead.py``), and with a
+   live tracer+metrics registry (allowed to cost; tracked here so the
+   enabled price has a trajectory too).
 
 Run from the repo root::
 
@@ -118,6 +123,38 @@ def bench_pagetable(n_grows: int) -> dict:
     }
 
 
+def bench_obs(duration: float, repeats: int) -> dict:
+    """Wall-time of one experiment bare / disabled-obs / traced."""
+    from repro.cluster.experiment import run_experiment
+    from repro.obs import MetricsRegistry, Observability, Tracer
+
+    def best(make_obs):
+        best_s, obs = float("inf"), None
+        for _ in range(repeats):
+            config = paper_config("sweep3d", nranks=2,
+                                  run_duration=duration)
+            obs = make_obs()
+            t0 = time.perf_counter()
+            run_experiment(config, obs=obs)
+            best_s = min(best_s, time.perf_counter() - t0)
+        return best_s, obs
+
+    base_s, _ = best(lambda: None)
+    disabled_s, _ = best(lambda: Observability())
+    enabled_s, obs = best(lambda: Observability(
+        tracer=Tracer(wall_clock=None), metrics=MetricsRegistry()))
+    return {
+        "sim_duration_s": duration,
+        "baseline_s": round(base_s, 4),
+        "disabled_obs_s": round(disabled_s, 4),
+        "enabled_obs_s": round(enabled_s, 4),
+        "disabled_overhead_pct": round((disabled_s / base_s - 1) * 100, 2),
+        "enabled_overhead_pct": round((enabled_s / base_s - 1) * 100, 2),
+        "trace_events": len(obs.tracer.events),
+        "metric_series": len(obs.metrics.names()),
+    }
+
+
 def _ib_table(results_by_panel: dict) -> dict:
     """IBStats flattened to comparable plain values."""
     return {
@@ -196,6 +233,13 @@ def main(argv=None) -> int:
     print(f"pagetable: {n_grows} small grows ...", flush=True)
     pagetable = bench_pagetable(n_grows)
     print(f"  {pagetable['elapsed_s']:.3f}s")
+    obs_duration = 30.0 if args.quick else 120.0
+    print(f"obs: {obs_duration:.0f}s-sim run x3 variants ...", flush=True)
+    obs = bench_obs(obs_duration, repeats=3 if args.quick else 5)
+    print(f"  disabled {obs['disabled_overhead_pct']:+.2f}%, "
+          f"enabled {obs['enabled_overhead_pct']:+.2f}% "
+          f"({obs['trace_events']} events, "
+          f"{obs['metric_series']} series)")
     print(f"sweep: {len(panels)}x{len(timeslices)} runs, "
           f"jobs={args.jobs} ...", flush=True)
     sweep = bench_sweep(args.jobs, panels, timeslices)
@@ -212,6 +256,7 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "engine": engine,
         "pagetable": pagetable,
+        "obs": obs,
         "sweep": sweep,
         "seed_reference": SEED_REFERENCE,
     }

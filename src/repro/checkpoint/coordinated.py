@@ -139,6 +139,17 @@ class CheckpointEngine:
             self._force_full.discard(rank)
         else:
             ckpt = inc.capture(seq, taken_at=now)
+        obs = self.job.engine.obs
+        if obs.enabled:
+            m = obs.metrics
+            m.counter("checkpoint.captures").inc()
+            m.counter(f"checkpoint.captures_{ckpt.kind}").inc()
+            m.counter("checkpoint.bytes_captured").inc(ckpt.nbytes)
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("checkpoint"):
+                tracer.instant("capture", "checkpoint", now,
+                               track=f"ckpt.r{rank}", seq=seq,
+                               kind=ckpt.kind, bytes=ckpt.nbytes)
         self._write_out(rank, ckpt)
 
     def _write_out(self, rank: int, ckpt) -> None:
@@ -188,6 +199,16 @@ class CheckpointEngine:
         if record.ranks_stored == self.job.nranks:
             record.committed_at = done_at
             self.store.mark_committed(seq)
+            obs = self.job.engine.obs
+            if obs.enabled:
+                obs.metrics.counter("checkpoint.commits").inc()
+                tracer = obs.tracer
+                if tracer.enabled and tracer.wants("checkpoint"):
+                    tracer.complete("commit", "checkpoint",
+                                    record.requested_at,
+                                    record.commit_latency, track="ckpt.global",
+                                    seq=seq, kind=record.kind,
+                                    bytes=record.total_bytes)
             if self.gc and record.kind == "full":
                 self._collect_garbage(seq)
 
@@ -198,6 +219,14 @@ class CheckpointEngine:
         force the rank's next capture to be full, which re-heads its
         chain."""
         self.write_failures.append((rank, seq))
+        obs = self.job.engine.obs
+        if obs.enabled:
+            obs.metrics.counter("checkpoint.write_failures").inc()
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("checkpoint"):
+                tracer.instant("write-failed", "checkpoint",
+                               self.job.engine.now, track=f"ckpt.r{rank}",
+                               seq=seq)
         self._poisoned.add(seq)
         self.store.discard(rank, seq)
         # disks are FIFO, so later pieces cannot have become durable yet;

@@ -18,6 +18,16 @@ Commands:
     Fault-injection experiment: run under a seeded stochastic or
     explicit fault plan, recover from the checkpoint chain, and report
     lost-work/downtime/availability against the Young/Daly model.
+``obs view``
+    Summarize a trace file written with ``--trace-out`` (span totals,
+    instant counts, burst structure) without re-running anything.
+
+``run``, ``sweep``, and ``faults run`` all accept ``--trace-out FILE``
+(Chrome/Perfetto JSON, or JSONL with a ``.jsonl`` suffix),
+``--metrics-out FILE`` (text with ``.txt``, JSON otherwise), and
+``--progress`` (live line on stderr).  Tracing never perturbs the
+simulation: timestamps are virtual time, identical across same-seed
+runs.
 """
 
 from __future__ import annotations
@@ -57,6 +67,47 @@ def _nonneg_float(text: str) -> float:
     return value
 
 
+def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+    """The shared observability surface of run/sweep/faults-run."""
+    grp = cmd.add_argument_group("observability")
+    grp.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="write a Chrome/Perfetto trace (.jsonl for the "
+                          "compact line stream)")
+    grp.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="dump the metrics registry (.txt for text, "
+                          "JSON otherwise)")
+    grp.add_argument("--progress", action="store_true",
+                     help="live progress line on stderr")
+
+
+def _make_obs(args):
+    """An :class:`~repro.obs.Observability` for the requested flags, or
+    None when none were given (the zero-cost path)."""
+    if not (args.trace_out or args.metrics_out or args.progress):
+        return None
+    from repro.obs import MetricsRegistry, Observability, ProgressReporter, Tracer
+    return Observability(
+        tracer=Tracer() if args.trace_out else None,
+        metrics=MetricsRegistry(),
+        progress=ProgressReporter() if args.progress else None)
+
+
+def _finish_obs(obs, args, out) -> None:
+    """Flush whatever the flags asked for after a run completes."""
+    if obs is None:
+        return
+    if obs.progress is not None:
+        obs.progress.close()
+    if args.trace_out:
+        obs.tracer.export(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(obs.tracer.events)} events)", file=out)
+    if args.metrics_out:
+        obs.metrics.dump(args.metrics_out)
+        print(f"metrics written to {args.metrics_out} "
+              f"({len(obs.metrics.names())} series)", file=out)
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,6 +125,7 @@ def _parser() -> argparse.ArgumentParser:
                      help="simulated seconds after initialization")
     run.add_argument("--save-trace", metavar="DIR", default=None,
                      help="write per-rank traces (npz+json) to DIR")
+    _add_obs_flags(run)
 
     sweep = sub.add_parser("sweep", help="IB vs timeslice for one app")
     sweep.add_argument("--app", required=True, choices=sorted(PAPER_APPS))
@@ -90,6 +142,7 @@ def _parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR if set, else no cache)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore any configured result cache")
+    _add_obs_flags(sweep)
 
     feas = sub.add_parser("feasibility",
                           help="full Table 4 + section 6.3 verdicts")
@@ -146,6 +199,16 @@ def _parser() -> argparse.ArgumentParser:
                       help="cap the stochastic plan's event count")
     frun.add_argument("--no-verify", action="store_true",
                       help="skip the bit-identical restore verification")
+    _add_obs_flags(frun)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    oview = osub.add_parser("view",
+                            help="summarize a trace written with --trace-out")
+    oview.add_argument("trace", metavar="TRACE",
+                       help="Chrome JSON or JSONL trace file")
+    oview.add_argument("--top", type=_positive_int, default=10,
+                       help="span rows to show (default 10)")
 
     ana = sub.add_parser("analyze",
                          help="compute IWS/IB statistics from saved traces "
@@ -176,7 +239,9 @@ def cmd_run(args, out) -> int:
     config = paper_config(args.app, nranks=args.ranks,
                           timeslice=args.timeslice,
                           run_duration=args.duration)
-    result = run_experiment(config)
+    obs = _make_obs(args)
+    result = run_experiment(config, obs=obs)
+    _finish_obs(obs, args, out)
     print(f"{args.app}: {result.final_time:.1f} s simulated, "
           f"{result.iterations} iterations, {args.ranks} ranks", file=out)
     print(f"footprint: {result.footprint().as_row()}", file=out)
@@ -204,10 +269,12 @@ def cmd_sweep(args, out) -> int:
     cache = None if args.no_cache else default_cache(args.cache_dir)
     config = paper_config(args.app, nranks=args.ranks,
                           run_duration=args.duration)
+    obs = _make_obs(args)
     t0 = time.perf_counter()
     results = sweep_timeslices(config, timeslices, jobs=args.jobs,
-                               cache=cache)
+                               cache=cache, obs=obs)
     elapsed = time.perf_counter() - t0
+    _finish_obs(obs, args, out)
     print(f"{args.app}: average/maximum IB vs timeslice", file=out)
     for ts in sorted(results):
         print("  " + results[ts].ib().as_row(), file=out)
@@ -270,11 +337,14 @@ def cmd_faults_run(args, out) -> int:
             plan = FaultPlan.exponential(args.mtbf, args.ranks, horizon,
                                          seed=args.seed,
                                          max_faults=args.max_faults)
+    obs = _make_obs(args)
     result = run_with_failures(config, plan,
                                interval_slices=args.interval,
                                full_every=args.full_every,
                                detection_latency=args.detect_latency,
-                               verify=not args.no_verify)
+                               verify=not args.no_verify,
+                               obs=obs)
+    _finish_obs(obs, args, out)
     metrics = result.metrics
     print(f"{args.app}: {len(plan)} planned fault(s), "
           f"{len(result.failures)} recovery(ies), "
@@ -302,6 +372,20 @@ def cmd_faults_run(args, out) -> int:
               f"{comparison['predicted_efficiency']:.2%}, observed "
               f"{comparison['observed_efficiency']:.2%} "
               f"(gap {comparison['gap']:+.2%})", file=out)
+    return 0
+
+
+def cmd_obs_view(args, out) -> int:
+    """``obs view``: summarize a saved trace (exit 2 on a bad file)."""
+    from repro.errors import ObservabilityError
+    from repro.obs import load_trace_events, summarize_trace
+
+    try:
+        events = load_trace_events(args.trace)
+    except ObservabilityError as exc:
+        print(f"bad trace: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(events, top=args.top), file=out)
     return 0
 
 
@@ -334,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
     if args.command == "faults":
         return cmd_faults_run(args, out)
+    if args.command == "obs":
+        return cmd_obs_view(args, out)
     if args.command == "validate":
         return cmd_validate(args, out)
     if args.command == "report":

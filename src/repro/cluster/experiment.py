@@ -126,9 +126,15 @@ class ExperimentResult:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one instrumented experiment on the simulated cluster."""
-    engine = Engine()
+def run_experiment(config: ExperimentConfig,
+                   obs=None) -> ExperimentResult:
+    """Run one instrumented experiment on the simulated cluster.
+
+    ``obs`` (a :class:`repro.obs.Observability`) threads a tracer,
+    metrics registry, and progress feed through the engine and every
+    component hanging off it; ``None`` (the default) is the zero-cost
+    disabled path."""
+    engine = Engine(obs=obs)
     layout = Layout(page_size=config.page_size)
     run_duration = (config.run_duration
                     if config.run_duration is not None
@@ -158,6 +164,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     for p in procs:
         if p.exception is not None:
             raise p.exception
+    if engine.obs.enabled:
+        engine.publish_metrics(engine.obs.metrics)
 
     rc0 = app.contexts[0]
     return ExperimentResult(
@@ -201,7 +209,7 @@ def run_uninstrumented(config: ExperimentConfig) -> ExperimentResult:
 
 def sweep_timeslices(config: ExperimentConfig,
                      timeslices: list[float], *, jobs: int = 1,
-                     cache=None) -> dict[float, ExperimentResult]:
+                     cache=None, obs=None) -> dict[float, ExperimentResult]:
     """One run per timeslice (the sweep behind Figs 2-4).  Re-running per
     timeslice matters: page reuse within longer slices cannot be derived
     from a finer-grained run, because the dirty set resets at each alarm.
@@ -211,28 +219,30 @@ def sweep_timeslices(config: ExperimentConfig,
     Results are identical at any job count (see DESIGN.md)."""
     if not timeslices:
         raise ConfigurationError("empty timeslice sweep")
-    return _run_sweep(config, "timeslice", timeslices, jobs=jobs, cache=cache)
+    return _run_sweep(config, "timeslice", timeslices, jobs=jobs,
+                      cache=cache, obs=obs)
 
 
 def sweep_processors(config: ExperimentConfig,
                      nranks_list: list[int], *, jobs: int = 1,
-                     cache=None) -> dict[int, ExperimentResult]:
+                     cache=None, obs=None) -> dict[int, ExperimentResult]:
     """One run per processor count under weak scaling (Fig 5): the
     per-process footprint is fixed; only the rank count changes."""
     if not nranks_list:
         raise ConfigurationError("empty processor sweep")
-    return _run_sweep(config, "nranks", nranks_list, jobs=jobs, cache=cache)
+    return _run_sweep(config, "nranks", nranks_list, jobs=jobs,
+                      cache=cache, obs=obs)
 
 
 def _run_sweep(config: ExperimentConfig, field_name: str, values: list,
-               *, jobs: int, cache) -> dict:
+               *, jobs: int, cache, obs=None) -> dict:
     """Fan one-field sweeps through the executor, deduplicating repeated
     values (matching the dict semantics the serial loop always had)."""
     from repro.exec import SweepExecutor  # deferred: exec imports us
 
     unique = list(dict.fromkeys(values))
     configs = [config.scaled(**{field_name: v}) for v in unique]
-    results = SweepExecutor(jobs=jobs, cache=cache).run_many(configs)
+    results = SweepExecutor(jobs=jobs, cache=cache, obs=obs).run_many(configs)
     return dict(zip(unique, results))
 
 

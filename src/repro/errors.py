@@ -117,6 +117,15 @@ class FaultPlanError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# Observability
+# --------------------------------------------------------------------------
+
+class ObservabilityError(ReproError):
+    """Errors in the tracing/metrics layer (bad trace file, metric kind
+    mismatch, invalid export target)."""
+
+
+# --------------------------------------------------------------------------
 # Experiments / configuration
 # --------------------------------------------------------------------------
 

@@ -55,18 +55,28 @@ class SweepExecutor:
     cache:
         Optional :class:`ResultCache`; hits are returned without
         simulating, misses are stored after the run.
+    obs:
+        Optional :class:`~repro.obs.Observability`; serial runs (jobs=1)
+        thread it into each experiment's engine and time every run via
+        :func:`~repro.obs.probe`.  Pool workers run without it (tracers
+        do not cross process boundaries), but cache and sweep-level
+        counters are still recorded.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 obs=None):
         if jobs < 1:
             raise ConfigurationError(f"need at least one job, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.obs = obs
 
     def run_many(self, configs: Sequence) -> list:
         """One :class:`ExperimentResult` per config, in submission order."""
         from repro.cluster.experiment import run_experiment
+        from repro.obs import probe
 
+        obs = self.obs if (self.obs is not None and self.obs.enabled) else None
         configs = list(configs)
         results: list = [None] * len(configs)
         miss_idx: list[int] = []
@@ -74,6 +84,8 @@ class SweepExecutor:
             cached = self.cache.get(config) if self.cache is not None else None
             if cached is not None:
                 results[i] = cached
+                if obs is not None and obs.progress is not None:
+                    obs.progress.on_run(i + 1, len(configs), label="cached")
             else:
                 miss_idx.append(i)
 
@@ -81,16 +93,35 @@ class SweepExecutor:
             if self.jobs > 1 and len(miss_idx) > 1:
                 ctx = _pool_context()
                 workers = min(self.jobs, len(miss_idx))
-                with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=ctx) as pool:
-                    fresh = list(pool.map(
-                        _run_detached, [configs[i] for i in miss_idx]))
+                with probe(obs, "exec.pool_sweep"), \
+                        ProcessPoolExecutor(max_workers=workers,
+                                            mp_context=ctx) as pool:
+                    fresh = []
+                    for n, result in enumerate(pool.map(
+                            _run_detached, [configs[i] for i in miss_idx])):
+                        fresh.append(result)
+                        if obs is not None and obs.progress is not None:
+                            obs.progress.on_run(n + 1, len(miss_idx),
+                                                label="pool run")
             else:
-                fresh = [run_experiment(configs[i]) for i in miss_idx]
+                fresh = []
+                for n, i in enumerate(miss_idx):
+                    with probe(obs, "exec.run"):
+                        fresh.append(run_experiment(configs[i], obs=obs))
+                    if obs is not None and obs.progress is not None:
+                        obs.progress.on_run(n + 1, len(miss_idx), label="run")
             for i, result in zip(miss_idx, fresh):
                 results[i] = result
                 if self.cache is not None:
                     self.cache.put(configs[i], result)
+        if obs is not None:
+            m = obs.metrics
+            m.counter("exec.runs").inc(len(miss_idx))
+            m.counter("exec.cache.hits").inc(len(configs) - len(miss_idx))
+            m.counter("exec.cache.misses").inc(len(miss_idx))
+            if self.cache is not None:
+                m.gauge("exec.cache.hits_total").set(self.cache.hits)
+                m.gauge("exec.cache.misses_total").set(self.cache.misses)
         return results
 
     def run_one(self, config):

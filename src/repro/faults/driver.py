@@ -113,7 +113,9 @@ class FailureRecoveryDriver:
                  detection_latency: float = 0.25,
                  read_bandwidth: Optional[float] = None,
                  verify: bool = True,
-                 max_failures: int = 1000):
+                 max_failures: int = 1000,
+                 obs=None):
+        from repro.obs import NULL_OBS
         plan.validate_for(config.nranks)
         if detection_latency < 0:
             raise FaultPlanError("detection latency must be >= 0")
@@ -127,6 +129,8 @@ class FailureRecoveryDriver:
         self.read_bandwidth = read_bandwidth
         self.verify = verify
         self.max_failures = max_failures
+        #: observability sink threaded into every life's engine
+        self.obs = NULL_OBS if obs is None else obs
         # the same duration resolution as run_experiment, so an empty
         # plan reproduces its traces byte for byte
         duration = (config.run_duration if config.run_duration is not None
@@ -163,7 +167,7 @@ class FailureRecoveryDriver:
                   progress_before: float,
                   restored_from: Optional[tuple[int, int]]) -> LifeResult:
         config = self.config
-        engine = Engine(start_time=t_start)
+        engine = Engine(start_time=t_start, obs=self.obs)
         layout = Layout(page_size=config.page_size)
         remaining = max(0.0, self.total_duration - progress_before)
         app = ScientificApplication(config.spec, run_duration=remaining,
@@ -199,6 +203,8 @@ class FailureRecoveryDriver:
                           logs={}, store=ckpt.store, committed=[],
                           restored_from=restored_from,
                           progress_before=progress_before)
+        if self.obs.enabled and self.obs.progress is not None:
+            self.obs.progress.on_life(index, t_start)
         self._install_probe(job, library, app, life, progress_before)
         injector = FaultInjector(job, self.plan, disk_resolver=ckpt.disk,
                                  stop_on_fatal=True)
@@ -243,6 +249,17 @@ class FailureRecoveryDriver:
         life.write_failures = list(ckpt.write_failures)
         life.iterations = (app.contexts[0].iterations
                            if app.contexts else 0)
+        if self.obs.enabled:
+            engine.publish_metrics(self.obs.metrics,
+                                   prefix=f"sim.engine.life{index}")
+            tracer = self.obs.tracer
+            if tracer.enabled and tracer.wants("recovery"):
+                tracer.complete(f"life{index}", "recovery", t_start,
+                                life.t_end - t_start, track="lives",
+                                restored_from=(None if restored_from is None
+                                               else list(restored_from)),
+                                committed=len(life.committed),
+                                iterations=life.iterations)
         self._life_complete = not self._needs_recovery(injector, procs)
         self._life_injector = injector
         self._life_ckpt = ckpt
@@ -360,6 +377,18 @@ class FailureRecoveryDriver:
             recovery_life=recovery_life, lost_work=lost_work,
             restore_time=restore_time, downtime=downtime,
             restarted_at=restarted_at)
+        if self.obs.enabled:
+            m = self.obs.metrics
+            m.counter("faults.failures").inc()
+            m.counter("faults.lost_work_s").inc(lost_work)
+            m.counter("faults.downtime_s").inc(downtime)
+            tracer = self.obs.tracer
+            if tracer.enabled and tracer.wants("recovery"):
+                tracer.complete("recovery", "recovery", t_fail, downtime,
+                                track="lives", kind=kind,
+                                victims=list(victims), seq=recovered_seq,
+                                lost_work=lost_work,
+                                restore_time=restore_time)
         return record, restarted_at, progress_restored, restored_from
 
     def _recovery_target(self,
@@ -387,7 +416,8 @@ def run_with_failures(config: ExperimentConfig,
                       detection_latency: float = 0.25,
                       read_bandwidth: Optional[float] = None,
                       verify: bool = True,
-                      max_failures: int = 1000) -> FaultRunResult:
+                      max_failures: int = 1000,
+                      obs=None) -> FaultRunResult:
     """Run one experiment under a fault plan; see
     :class:`FailureRecoveryDriver`.
 
@@ -400,4 +430,4 @@ def run_with_failures(config: ExperimentConfig,
         config, plan, interval_slices=interval_slices,
         full_every=full_every, detection_latency=detection_latency,
         read_bandwidth=read_bandwidth, verify=verify,
-        max_failures=max_failures).run()
+        max_failures=max_failures, obs=obs).run()

@@ -160,6 +160,23 @@ class DirtyPageTracker:
         self._slice_received = 0
         self._slice_overhead = 0.0
         self._charge(protected * self.config.reprotect_cost_per_page)
+        obs = self.engine.obs
+        if obs.enabled:
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("timeslice"):
+                tracer.instant("timeslice", "timeslice", now,
+                               track=f"rank{self.log.rank}",
+                               index=index, iws_pages=record.iws_pages,
+                               iws_bytes=record.iws_bytes,
+                               faults=record.faults,
+                               footprint_bytes=record.footprint_bytes)
+            m = obs.metrics
+            m.counter("instrument.slices").inc()
+            m.counter("instrument.pages_dirtied").inc(record.iws_pages)
+            m.counter("instrument.pages_protected").inc(protected)
+            m.counter("instrument.faults").inc(record.faults)
+            if obs.progress is not None:
+                obs.progress.on_slice(self.log.rank, record, now)
 
     def _on_map(self, seg: Segment) -> None:
         """mmap interception: protect the new region immediately."""

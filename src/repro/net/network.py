@@ -81,6 +81,15 @@ class Network:
             arrival = start_rx + serialize
             self._rx_free[msg.dst] = arrival
         msg.arrival_time = arrival
+        obs = self.engine.obs
+        if obs.enabled:
+            obs.metrics.counter("net.messages_sent").inc()
+            obs.metrics.counter("net.bytes_sent").inc(msg.size)
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("net"):
+                tracer.complete("net.send", "net", now, arrival - now,
+                                track=f"net.tx{msg.src}", dst=msg.dst,
+                                size=msg.size, tag=msg.tag)
         self.engine.schedule_at(arrival, self._deliver, msg)
         return arrival
 

@@ -51,6 +51,7 @@ class NIC:
         self.node = node
         self.network = network
         self.process = process
+        self.engine = process.engine
         self.memcpy_bandwidth = memcpy_bandwidth
         #: with strict_dma, direct deposit into a protected page is an
         #: error (the hardware conflict the bounce buffer exists to avoid)
@@ -67,13 +68,24 @@ class NIC:
         network.attach(node, self._receive)
 
     def _receive(self, msg: Message) -> None:
+        obs = self.engine.obs
         if self.failed or self._drop_budget > 0:
             if not self.failed:
                 self._drop_budget -= 1
             self.messages_dropped += 1
+            if obs.enabled:
+                obs.metrics.counter("net.messages_dropped").inc()
             return
         self.bytes_received += msg.size
         self.messages_received += 1
+        if obs.enabled:
+            obs.metrics.counter("net.messages_received").inc()
+            obs.metrics.counter("net.bytes_received").inc(msg.size)
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("net"):
+                tracer.instant("nic.recv", "net", self.engine.now,
+                               track=f"nic{self.node}", src=msg.src,
+                               size=msg.size, tag=msg.tag)
         if self.on_message is not None:
             self.on_message(msg)
 

@@ -1,0 +1,218 @@
+"""Counters, gauges, and histograms with per-subsystem namespaces.
+
+A :class:`MetricsRegistry` is a flat dictionary of dotted metric names
+(``checkpoint.bytes_captured``, ``storage.ckpt-disk.r0.bytes_written``)
+to one of three instrument kinds:
+
+- :class:`Counter` -- monotonically increasing totals;
+- :class:`Gauge` -- last-write-wins values (engine stats snapshots);
+- :class:`Histogram` -- streaming count/sum/min/max of observations
+  (wall-time probe durations).
+
+``registry.scoped("checkpoint")`` returns a view that prefixes every
+name, so a subsystem can own its namespace without threading strings
+around.  Snapshots are plain dicts (sorted by name) for JSON dumps, and
+:meth:`MetricsRegistry.render_text` is the human-readable form.
+
+Determinism note: metric *values* derived from simulation state are
+deterministic; histograms fed wall-clock durations are not, which is
+why trace comparisons live in the tracer (sim-time) and not here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (>= 0) to the running total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming summary of observations: count, sum, min, max, mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the running summary."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.6f}>"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}")
+        return metric
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view that prepends ``prefix.`` to every metric name."""
+        return ScopedMetrics(self, prefix)
+
+    # -- introspection ------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Every registered metric name, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, dict]:
+        """All metrics as plain JSON-able values, sorted by name."""
+        out = {}
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = {"kind": m.kind, "count": m.count,
+                             "sum": m.total, "min": m.min, "max": m.max,
+                             "mean": m.mean}
+            else:
+                out[name] = {"kind": m.kind, "value": m.value}
+        return out
+
+    def render_text(self) -> str:
+        """One metric per line, aligned, for terminals and .txt dumps."""
+        lines = []
+        for name, entry in self.snapshot().items():
+            if entry["kind"] == "histogram":
+                lines.append(
+                    f"{name:52s} n={entry['count']:<8d} "
+                    f"mean={entry['mean']:.6g} min={entry['min']} "
+                    f"max={entry['max']}")
+            else:
+                lines.append(f"{name:52s} {entry['value']}")
+        return "\n".join(lines)
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write a snapshot; ``*.txt`` renders text, anything else JSON."""
+        path = Path(path)
+        if path.is_dir():
+            raise ObservabilityError(
+                f"metrics target {path} is a directory; give a file path")
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".txt":
+            path.write_text(self.render_text() + "\n")
+        else:
+            path.write_text(json.dumps(self.snapshot(), indent=2,
+                                       sort_keys=True) + "\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"
+
+
+class ScopedMetrics:
+    """A prefixing view over a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def counter(self, name: str) -> Counter:
+        """The underlying registry's counter ``<prefix>.<name>``."""
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        """The underlying registry's gauge ``<prefix>.<name>``."""
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str) -> Histogram:
+        """The underlying registry's histogram ``<prefix>.<name>``."""
+        return self._registry.histogram(f"{self._prefix}.{name}")
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A deeper view: ``<this prefix>.<prefix>``."""
+        return ScopedMetrics(self._registry, f"{self._prefix}.{prefix}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScopedMetrics prefix={self._prefix!r}>"

@@ -1,0 +1,93 @@
+"""Wall-time probes and the live progress reporter.
+
+:func:`probe` is the profiling context manager host-side phases wrap
+around expensive work (a sweep point, a restore, a cache miss): it
+times the block on the monotonic clock and records the duration into a
+histogram of the attached :class:`~repro.obs.metrics.MetricsRegistry`.
+Against a disabled :class:`~repro.obs.Observability` it degrades to a
+bare timer -- no metric is created, nothing is allocated beyond the
+context frame.
+
+:class:`ProgressReporter` renders the ``--progress`` live line:
+subsystems feed it (timeslice boundaries per rank, sweep points
+completed, fault-run lives started) and it repaints a single
+carriage-return line on stderr, throttled on wall time so tight sim
+loops don't spam the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+
+
+@contextmanager
+def probe(obs, name: str):
+    """Time the enclosed block and observe the wall duration (seconds)
+    into ``obs.metrics.histogram(name)``; a no-op recorder when ``obs``
+    is None or disabled."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        if obs is not None and obs.enabled:
+            obs.metrics.histogram(name).observe(time.perf_counter() - t0)
+
+
+class ProgressReporter:
+    """A single live status line, repainted in place on ``stream``.
+
+    ``min_interval`` throttles repaints (wall seconds); the final state
+    is always flushed by :meth:`close`.
+    """
+
+    def __init__(self, stream=None, min_interval: float = 0.1):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.slices: dict[int, int] = {}
+        self._last_paint = 0.0
+        self._painted = False
+        self._last_line = ""
+
+    # -- feeds --------------------------------------------------------------
+
+    def on_slice(self, rank: int, record, now: float) -> None:
+        """One rank finished a timeslice (fed by the tracker)."""
+        self.slices[rank] = self.slices.get(rank, 0) + 1
+        per_rank = " ".join(f"r{r}:{n}" for r, n in sorted(self.slices.items()))
+        self._paint(f"t={now:9.2f}s  slices {per_rank}")
+
+    def on_run(self, done: int, total: int, label: str = "") -> None:
+        """One sweep point finished (fed by the executor)."""
+        suffix = f"  {label}" if label else ""
+        self._paint(f"sweep {done}/{total}{suffix}", force=done == total)
+
+    def on_life(self, index: int, t_start: float) -> None:
+        """A fault-run life launched (fed by the recovery driver)."""
+        self.slices.clear()
+        word = "launched" if index == 0 else "restarted"
+        self._paint(f"life {index} {word} at t={t_start:.2f}s", force=True)
+
+    # -- painting -----------------------------------------------------------
+
+    def _paint(self, line: str, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_paint < self.min_interval:
+            self._last_line = line
+            return
+        self._last_paint = now
+        self._painted = True
+        self._last_line = ""
+        pad = "\r\x1b[2K" if self.stream.isatty() else "\r"
+        self.stream.write(f"{pad}{line}")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Flush any throttled update and terminate the live line."""
+        if self._last_line:
+            self._paint(self._last_line, force=True)
+        if self._painted:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._painted = False

@@ -1,0 +1,147 @@
+"""Trace summarization: the ``repro obs view`` backend.
+
+Loads a trace written by :meth:`~repro.obs.Tracer.export` (Chrome JSON
+or JSONL) and renders a terminal summary: event totals, top spans by
+total sim time, instant-event counts, and -- when timeslice instants
+are present -- the bulk-synchronous burst structure the paper measures
+(section 6.2): how the incremental working set alternates between heavy
+and light slices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ObservabilityError
+
+
+def load_trace_events(path: Union[str, Path]) -> list[dict]:
+    """Read a trace file into its event list.
+
+    Accepts the Chrome object form (``{"traceEvents": [...]}``), a bare
+    JSON array, or JSONL (one event per line).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ObservabilityError(f"no trace file at {path}")
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        try:
+            events = [json.loads(line) for line in text.splitlines() if line]
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"bad JSONL trace {path}: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"bad JSON trace {path}: {exc}") from exc
+        if isinstance(data, dict):
+            events = data.get("traceEvents")
+            if events is None:
+                raise ObservabilityError(
+                    f"{path} has no 'traceEvents' array")
+        elif isinstance(data, list):
+            events = data
+        else:
+            raise ObservabilityError(
+                f"{path}: expected an object or array, got {type(data).__name__}")
+    if not isinstance(events, list) or not all(
+            isinstance(ev, dict) for ev in events):
+        raise ObservabilityError(f"{path}: traceEvents must be a list of objects")
+    return events
+
+
+def _track_names(events: list[dict]) -> dict[int, str]:
+    """tid -> track name, from the thread_name metadata events."""
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev.get("tid")] = ev.get("args", {}).get("name", "?")
+    return names
+
+
+def summarize_trace(events: list[dict], top: int = 10) -> str:
+    """Render the terminal summary of one event list."""
+    tracks = _track_names(events)
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    instants = [ev for ev in events if ev.get("ph") in ("i", "I")]
+    timed = spans + instants
+    if not timed:
+        return "empty trace (no spans or instant events)"
+
+    t_lo = min(ev["ts"] for ev in timed) / 1e6
+    t_hi = max(ev["ts"] + ev.get("dur", 0.0) for ev in timed) / 1e6
+    lines = [
+        f"trace: {len(timed)} events ({len(spans)} spans, "
+        f"{len(instants)} instants) on {len(tracks)} track(s), "
+        f"sim time {t_lo:.3f}s .. {t_hi:.3f}s",
+    ]
+
+    if spans:
+        totals: dict[str, list] = {}
+        for ev in spans:
+            agg = totals.setdefault(ev.get("name", "?"), [0, 0.0, 0.0])
+            dur = ev.get("dur", 0.0) / 1e6
+            agg[0] += 1
+            agg[1] += dur
+            agg[2] = max(agg[2], dur)
+        lines.append("")
+        lines.append(f"top spans by total sim time "
+                     f"(showing {min(top, len(totals))} of {len(totals)}):")
+        lines.append(f"  {'name':28s} {'count':>6s} {'total':>10s} "
+                     f"{'mean':>10s} {'max':>10s}")
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        for name, (count, total, peak) in ranked[:top]:
+            lines.append(f"  {name:28s} {count:6d} {total:9.3f}s "
+                         f"{total / count:9.4f}s {peak:9.4f}s")
+
+    if instants:
+        counts: dict[str, int] = {}
+        for ev in instants:
+            counts[ev.get("name", "?")] = counts.get(ev.get("name", "?"), 0) + 1
+        lines.append("")
+        lines.append("instant events:")
+        for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {name:28s} {count:6d}")
+
+    burst = _burst_structure(instants)
+    if burst:
+        lines.append("")
+        lines.append(burst)
+    return "\n".join(lines)
+
+
+def _burst_structure(instants: list[dict]) -> str:
+    """Bulk-synchronous burst summary from ``timeslice`` instants.
+
+    Splits slices at the midpoint between the smallest and largest
+    per-slice IWS and reports the heavy/light alternation -- the
+    paper's section 6.2 observation that checkpoint traffic arrives in
+    bursts aligned with iteration structure.
+    """
+    slices = [ev.get("args", {}) for ev in instants
+              if ev.get("name") == "timeslice"]
+    iws = [args.get("iws_bytes") for args in slices
+           if args.get("iws_bytes") is not None]
+    if len(iws) < 2:
+        return ""
+    lo, hi = min(iws), max(iws)
+    mib = 1024.0 * 1024.0
+    if hi == lo:
+        return (f"burst structure: {len(iws)} timeslices, flat IWS "
+                f"({hi / mib:.2f} MiB per slice)")
+    threshold = (lo + hi) / 2.0
+    heavy = [v for v in iws if v >= threshold]
+    light = [v for v in iws if v < threshold]
+    bursts = sum(1 for prev, cur in zip(iws, iws[1:])
+                 if prev < threshold <= cur)
+    if iws[0] >= threshold:
+        bursts += 1
+    mean_heavy = sum(heavy) / len(heavy) / mib
+    mean_light = (sum(light) / len(light) / mib) if light else 0.0
+    return (f"burst structure: {len(iws)} timeslices, {bursts} burst(s); "
+            f"{len(heavy)} heavy slice(s) averaging {mean_heavy:.2f} MiB, "
+            f"{len(light)} light averaging {mean_light:.2f} MiB "
+            f"(threshold {threshold / mib:.2f} MiB)")

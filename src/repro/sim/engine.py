@@ -25,6 +25,8 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import ClockError, DeadlockError
+from repro.obs import NULL_OBS
+from repro.obs.tracer import ENGINE_DISPATCH
 
 #: Priority for timer expiries (alarm signals).  Fires before anything else
 #: scheduled at the same instant.
@@ -98,7 +100,7 @@ class Engine:
     events.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, obs=None):
         self._now = float(start_time)
         #: heap of (time, priority, seq, Event) -- C-level tuple ordering
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -107,6 +109,16 @@ class Engine:
         self._stop_requested = False
         self._live_processes = 0  # maintained by SimProcess
         self._n_cancelled = 0     # cancelled entries still in the heap
+        #: the observability sink every instrumented component reaches
+        #: through its engine; NULL_OBS keeps all call sites one branch
+        self.obs = NULL_OBS if obs is None else obs
+        #: profiling hooks called with each Event after it fires
+        self._event_hooks: list[Callable[[Event], None]] = []
+        # lifetime stats (reset with reset_stats(), never by run():
+        # the fault driver resumes stopped runs and counts must span them)
+        self._n_dispatched = 0
+        self._n_cancelled_total = 0
+        self._n_compactions = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -139,6 +151,7 @@ class Engine:
         """One queued event was cancelled; compact once the dead outnumber
         the living (and the heap is big enough to care)."""
         self._n_cancelled += 1
+        self._n_cancelled_total += 1
         heap = self._heap
         if (self._n_cancelled * 2 > len(heap)
                 and len(heap) >= _COMPACT_MIN):
@@ -151,6 +164,7 @@ class Engine:
         self._heap[:] = live
         heapq.heapify(self._heap)
         self._n_cancelled = 0
+        self._n_compactions += 1
 
     # -- execution ----------------------------------------------------------
 
@@ -185,7 +199,11 @@ class Engine:
                 continue
             ev._engine = None
             self._now = entry[0]
+            self._n_dispatched += 1
             ev.fn(*ev.args)
+            if self._event_hooks:
+                for hook in self._event_hooks:
+                    hook(ev)
             return True
         return False
 
@@ -207,6 +225,8 @@ class Engine:
         # callbacks that schedule or cancel.
         heap = self._heap
         heappop = heapq.heappop
+        tracer = self.obs.tracer
+        trace_dispatch = tracer.enabled and tracer.wants(ENGINE_DISPATCH)
         self._running = True
         self._stop_requested = False
         try:
@@ -222,7 +242,17 @@ class Engine:
                 heappop(heap)
                 ev._engine = None
                 self._now = entry[0]
+                self._n_dispatched += 1
                 ev.fn(*ev.args)
+                if trace_dispatch:
+                    tracer.instant(
+                        getattr(ev.fn, "__qualname__",
+                                getattr(ev.fn, "__name__", "event")),
+                        ENGINE_DISPATCH, entry[0], track="engine",
+                        priority=entry[1])
+                if self._event_hooks:
+                    for hook in self._event_hooks:
+                        hook(ev)
                 if self._stop_requested:
                     break
         finally:
@@ -237,6 +267,49 @@ class Engine:
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued (O(1))."""
         return len(self._heap) - self._n_cancelled
+
+    # -- observability ------------------------------------------------------
+
+    def add_event_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a profiling hook called with every fired event.  The
+        hot loop pays one truthiness check when no hooks are registered."""
+        self._event_hooks.append(hook)
+
+    def remove_event_hook(self, hook: Callable[[Event], None]) -> None:
+        """Unregister a hook added with :meth:`add_event_hook`."""
+        self._event_hooks.remove(hook)
+
+    def stats(self) -> dict:
+        """Lifetime counters of this engine: events dispatched, events
+        cancelled, heap compactions, and the live pending count.
+
+        Counters accumulate across :meth:`run` calls -- including the
+        ``stop()``/resume seam the fault driver uses -- and are zeroed
+        only by :meth:`reset_stats`, so one logical run reports exact
+        totals however many times its clock was paused.
+        """
+        return {
+            "dispatched": self._n_dispatched,
+            "cancelled": self._n_cancelled_total,
+            "compactions": self._n_compactions,
+            "pending": self.pending_events(),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the lifetime counters (between logical runs that reuse
+        one engine).  Heap bookkeeping -- the live cancelled-entry count
+        behind :meth:`pending_events` -- is *not* touched: it reflects
+        queue state, not history, and resetting it would corrupt
+        compaction accounting."""
+        self._n_dispatched = 0
+        self._n_cancelled_total = 0
+        self._n_compactions = 0
+
+    def publish_metrics(self, metrics, prefix: str = "sim.engine") -> None:
+        """Snapshot :meth:`stats` into gauges of a
+        :class:`~repro.obs.MetricsRegistry`."""
+        for name, value in self.stats().items():
+            metrics.gauge(f"{prefix}.{name}").set(value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.6f} pending={self.pending_events()}>"

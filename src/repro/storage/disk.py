@@ -48,10 +48,24 @@ class Disk:
         if self._fail_budget > 0:
             self._fail_budget -= 1
             self.writes_failed += 1
+            failed = True
             self.engine.schedule_at(done_at, fut.resolve, None)
         else:
             self.bytes_written += nbytes
+            failed = False
             self.engine.schedule_at(done_at, fut.resolve, done_at)
+        obs = self.engine.obs
+        if obs.enabled:
+            m = obs.metrics
+            if failed:
+                m.counter("storage.writes_failed").inc()
+            else:
+                m.counter("storage.bytes_written").inc(nbytes)
+                m.counter(f"storage.{self.name}.bytes_written").inc(nbytes)
+            tracer = obs.tracer
+            if tracer.enabled and tracer.wants("storage"):
+                tracer.complete("disk.write", "storage", start, duration,
+                                track=self.name, bytes=nbytes, failed=failed)
         return fut
 
     def fail_next_writes(self, count: int = 1) -> None:

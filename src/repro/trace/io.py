@@ -17,19 +17,35 @@ _COLUMNS = ("index", "t_start", "t_end", "iws_pages", "iws_bytes",
             "footprint_bytes", "faults", "received_bytes", "overhead_time")
 
 
+def _normalize(path: Union[str, Path]) -> tuple[Path, Path]:
+    """Resolve a trace basename to its ``(npz, json)`` sibling paths.
+
+    Accepts the bare stem or either sibling's full name; only a trailing
+    ``.npz``/``.json`` is stripped, so dotted stems like ``run.v2``
+    survive intact (``with_suffix`` would have truncated them to
+    ``run``).  Directories cannot be trace basenames.
+    """
+    path = Path(path)
+    if path.suffix in (".npz", ".json"):
+        path = path.parent / path.name[:-len(path.suffix)]
+    if path.is_dir():
+        raise ConfigurationError(
+            f"{path} is a directory, not a trace basename "
+            "(use save_traces/load_traces for per-rank directories)")
+    return (path.parent / (path.name + ".npz"),
+            path.parent / (path.name + ".json"))
+
+
 def save_trace(log: TraceLog, path: Union[str, Path]) -> Path:
     """Write one trace to ``<path>.npz`` and ``<path>.json``.
 
     Returns the npz path.
     """
-    path = Path(path)
-    if path.suffix == ".npz":
-        path = path.with_suffix("")
+    npz_path, meta_path = _normalize(path)
     arrays = {}
     for col in _COLUMNS:
         values = [getattr(r, col) for r in log.records]
         arrays[col] = np.asarray(values)
-    npz_path = path.with_suffix(".npz")
     np.savez_compressed(npz_path, **arrays)
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -39,19 +55,16 @@ def save_trace(log: TraceLog, path: Union[str, Path]) -> Path:
         "app_name": log.app_name,
         "n_slices": len(log.records),
     }
-    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    meta_path.write_text(json.dumps(meta, indent=2))
     return npz_path
 
 
 def load_trace(path: Union[str, Path]) -> TraceLog:
     """Reload a trace saved by :func:`save_trace`."""
-    path = Path(path)
-    if path.suffix == ".npz":
-        path = path.with_suffix("")
-    meta_path = path.with_suffix(".json")
-    npz_path = path.with_suffix(".npz")
+    npz_path, meta_path = _normalize(path)
     if not meta_path.exists() or not npz_path.exists():
-        raise ConfigurationError(f"no trace at {path} (.npz + .json expected)")
+        raise ConfigurationError(
+            f"no trace at {npz_path.with_suffix('')} (.npz + .json expected)")
     meta = json.loads(meta_path.read_text())
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ConfigurationError(
@@ -97,7 +110,7 @@ def load_traces(directory: Union[str, Path],
         raise ConfigurationError(f"no trace directory {directory}")
     logs = {}
     for meta_path in sorted(directory.glob(f"{prefix}*.json")):
-        log = load_trace(meta_path.with_suffix(""))
+        log = load_trace(meta_path)  # _normalize strips the .json
         logs[log.rank] = log
     if not logs:
         raise ConfigurationError(f"no traces under {directory}")

@@ -1,0 +1,103 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments_and_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("a.b")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    with pytest.raises(ObservabilityError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    g = MetricsRegistry().gauge("x")
+    g.set(10)
+    g.set(3)
+    assert g.value == 3
+
+
+def test_histogram_streaming_stats():
+    h = Histogram("lat")
+    for v in (2.0, 8.0, 5.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 15.0
+    assert h.min == 2.0 and h.max == 8.0
+    assert h.mean == 5.0
+    assert Histogram("empty").mean == 0.0
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("n") is reg.counter("n")
+    assert len(reg) == 1
+
+
+def test_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("n")
+    with pytest.raises(ObservabilityError, match="already registered"):
+        reg.gauge("n")
+
+
+def test_scoped_view_prefixes_names():
+    reg = MetricsRegistry()
+    ckpt = reg.scoped("checkpoint")
+    ckpt.counter("commits").inc()
+    ckpt.scoped("r0").gauge("pending").set(2)
+    assert reg.names() == ["checkpoint.commits", "checkpoint.r0.pending"]
+    assert reg.counter("checkpoint.commits").value == 1
+
+
+def test_snapshot_is_sorted_and_json_able():
+    reg = MetricsRegistry()
+    reg.gauge("z").set(1)
+    reg.counter("a").inc(5)
+    reg.histogram("m").observe(0.5)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "m", "z"]
+    assert snap["a"] == {"kind": "counter", "value": 5}
+    assert snap["m"]["count"] == 1
+    json.dumps(snap)  # must not raise
+
+
+def test_render_text_one_line_per_metric():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(7)
+    reg.histogram("h").observe(1.0)
+    text = reg.render_text()
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a") and lines[0].rstrip().endswith("7")
+    assert "n=1" in lines[1]
+
+
+def test_dump_txt_and_json(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    txt = reg.dump(tmp_path / "m.txt")
+    assert "a" in txt.read_text()
+    js = reg.dump(tmp_path / "m.json")
+    assert json.loads(js.read_text())["a"]["value"] == 3
+
+
+def test_dump_to_directory_rejected(tmp_path):
+    with pytest.raises(ObservabilityError, match="directory"):
+        MetricsRegistry().dump(tmp_path)
+
+
+def test_contains_and_names():
+    reg = MetricsRegistry()
+    reg.counter("present")
+    assert "present" in reg
+    assert "absent" not in reg
+    assert reg.names() == ["present"]

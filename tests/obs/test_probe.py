@@ -1,0 +1,98 @@
+"""Unit tests for probes and the progress reporter."""
+
+import io
+
+from repro.obs import MetricsRegistry, Observability, ProgressReporter, probe
+
+
+# -- probe ---------------------------------------------------------------------
+
+def test_probe_records_into_histogram():
+    obs = Observability(metrics=MetricsRegistry())
+    with probe(obs, "exec.run"):
+        pass
+    h = obs.metrics.histogram("exec.run")
+    assert h.count == 1
+    assert h.total >= 0.0
+
+
+def test_probe_accumulates_across_uses():
+    obs = Observability(metrics=MetricsRegistry())
+    for _ in range(3):
+        with probe(obs, "phase"):
+            pass
+    assert obs.metrics.histogram("phase").count == 3
+
+
+def test_probe_noop_when_obs_none_or_disabled():
+    with probe(None, "x"):
+        pass
+    disabled = Observability()
+    assert disabled.enabled is False
+    with probe(disabled, "x"):
+        pass
+    assert "x" not in disabled.metrics
+
+
+def test_probe_records_even_when_block_raises():
+    obs = Observability(metrics=MetricsRegistry())
+    try:
+        with probe(obs, "failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert obs.metrics.histogram("failing").count == 1
+
+
+# -- progress ------------------------------------------------------------------
+
+def make_reporter():
+    stream = io.StringIO()
+    stream.isatty = lambda: False
+    return ProgressReporter(stream=stream, min_interval=0.0), stream
+
+
+def test_on_slice_paints_per_rank_counts():
+    rep, stream = make_reporter()
+    rep.on_slice(0, None, 1.0)
+    rep.on_slice(1, None, 1.0)
+    rep.on_slice(0, None, 2.0)
+    assert "r0:2" in stream.getvalue()
+    assert "r1:1" in stream.getvalue()
+
+
+def test_on_life_resets_slice_counts():
+    rep, stream = make_reporter()
+    rep.on_slice(0, None, 1.0)
+    rep.on_life(1, 5.0)
+    assert rep.slices == {}
+    assert "life 1 restarted at t=5.00s" in stream.getvalue()
+    rep.on_life(0, 0.0)
+    assert "life 0 launched" in stream.getvalue()
+
+
+def test_on_run_reports_progress():
+    rep, stream = make_reporter()
+    rep.on_run(1, 4, label="run")
+    rep.on_run(4, 4)
+    assert "sweep 1/4  run" in stream.getvalue()
+    assert "sweep 4/4" in stream.getvalue()
+
+
+def test_throttle_suppresses_then_close_flushes():
+    stream = io.StringIO()
+    stream.isatty = lambda: False
+    rep = ProgressReporter(stream=stream, min_interval=3600.0)
+    rep.on_life(0, 0.0)          # force-painted; arms the throttle window
+    rep.on_slice(0, None, 1.0)   # throttled
+    assert "life 0" in stream.getvalue()
+    assert "r0:1" not in stream.getvalue()
+    rep.close()
+    assert "r0:1" in stream.getvalue()
+    assert stream.getvalue().endswith("\n")
+
+
+def test_close_without_paints_writes_nothing():
+    rep, stream = make_reporter()
+    rep.close()
+    assert stream.getvalue() == ""

@@ -1,0 +1,149 @@
+"""Unit tests for the Chrome-trace tracer."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_CATEGORIES,
+    ENGINE_DISPATCH,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    strip_wall_times,
+)
+
+
+# -- the disabled path ---------------------------------------------------------
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.wants("engine") is False
+    NULL_TRACER.instant("x", "engine", 0.0)
+    NULL_TRACER.complete("x", "engine", 0.0, 1.0)
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_null_tracer_has_no_state():
+    assert not hasattr(NULL_TRACER, "__dict__")
+
+
+# -- recording -----------------------------------------------------------------
+
+def test_instant_records_microsecond_timestamps():
+    tr = Tracer(wall_clock=None)
+    tr.instant("alarm", "timeslice", 1.5, track="rank0", index=3)
+    (ev,) = tr.events
+    assert ev["ph"] == "i"
+    assert ev["ts"] == 1.5e6
+    assert ev["args"] == {"index": 3}
+    assert ev["s"] == "t"
+
+
+def test_complete_records_duration():
+    tr = Tracer(wall_clock=None)
+    tr.complete("disk.write", "storage", 2.0, 0.25, track="disk")
+    (ev,) = tr.events
+    assert ev["ph"] == "X"
+    assert ev["ts"] == 2.0e6
+    assert ev["dur"] == 0.25e6
+
+
+def test_category_filter_drops_at_the_call():
+    tr = Tracer(categories={"storage"}, wall_clock=None)
+    tr.instant("fault.crash", "fault", 1.0)
+    tr.complete("disk.write", "storage", 1.0, 0.1)
+    assert len(tr) == 1
+    assert tr.wants("storage") and not tr.wants("fault")
+
+
+def test_engine_dispatch_is_opt_in():
+    assert ENGINE_DISPATCH not in DEFAULT_CATEGORIES
+    assert not Tracer(wall_clock=None).wants(ENGINE_DISPATCH)
+    assert Tracer(categories={ENGINE_DISPATCH},
+                  wall_clock=None).wants(ENGINE_DISPATCH)
+
+
+def test_tracks_get_stable_distinct_tids():
+    tr = Tracer(wall_clock=None)
+    tr.instant("a", "engine", 0.0, track="x")
+    tr.instant("b", "engine", 0.0, track="y")
+    tr.instant("c", "engine", 0.0, track="x")
+    tids = [ev["tid"] for ev in tr.events]
+    assert tids[0] == tids[2] != tids[1]
+
+
+def test_wall_clock_stamps_args_wall():
+    ticks = iter([0.0, 1.0, 3.5])
+    tr = Tracer(wall_clock=lambda: next(ticks))
+    tr.instant("a", "engine", 0.0)
+    tr.instant("b", "engine", 0.0)
+    assert tr.events[0]["args"]["wall"] == 1.0
+    assert tr.events[1]["args"]["wall"] == 3.5
+
+
+def test_strip_wall_times_removes_only_wall():
+    ticks = iter([0.0, 1.0])
+    tr = Tracer(wall_clock=lambda: next(ticks))
+    tr.instant("a", "engine", 0.0, index=7)
+    stripped = strip_wall_times(tr.events)
+    assert stripped[0]["args"] == {"index": 7}
+    # the original events are untouched (strip returns copies)
+    assert tr.events[0]["args"]["wall"] == 1.0
+
+
+def test_strip_wall_times_drops_empty_args():
+    tr = Tracer()  # real clock: every event carries args.wall
+    tr.instant("a", "engine", 0.0)
+    stripped = strip_wall_times(tr.events)
+    assert "args" not in stripped[0]
+
+
+# -- export --------------------------------------------------------------------
+
+def test_chrome_export_loads_and_names_tracks(tmp_path):
+    tr = Tracer(wall_clock=None)
+    tr.complete("life0", "recovery", 0.0, 10.0, track="lives")
+    path = tr.export(tmp_path / "trace.json")
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    meta = [ev for ev in data["traceEvents"] if ev["ph"] == "M"]
+    names = {ev["args"]["name"] for ev in meta}
+    assert "repro-sim" in names and "lives" in names
+
+
+def test_jsonl_export_is_one_event_per_line(tmp_path):
+    tr = Tracer(wall_clock=None)
+    tr.instant("a", "engine", 0.0)
+    tr.instant("b", "engine", 1.0)
+    path = tr.export(tmp_path / "trace.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    # process_name + thread_name("sim") metadata, then the two instants
+    assert len(lines) == 4
+    assert lines[-1]["name"] == "b"
+
+
+def test_export_to_directory_rejected(tmp_path):
+    tr = Tracer(wall_clock=None)
+    with pytest.raises(ObservabilityError, match="directory"):
+        tr.export(tmp_path)
+
+
+def test_export_creates_parent_directories(tmp_path):
+    tr = Tracer(wall_clock=None)
+    path = tr.export(tmp_path / "deep" / "nest" / "trace.json")
+    assert path.exists()
+
+
+def test_deterministic_bytes_without_wall_clock(tmp_path):
+    def record(tr):
+        tr.instant("alarm", "timeslice", 1.0, track="rank0", index=0)
+        tr.complete("disk.write", "storage", 1.5, 0.25, track="disk")
+
+    a, b = Tracer(wall_clock=None), Tracer(wall_clock=None)
+    record(a)
+    record(b)
+    pa = a.export(tmp_path / "a.json")
+    pb = b.export(tmp_path / "b.json")
+    assert pa.read_bytes() == pb.read_bytes()

@@ -1,0 +1,115 @@
+"""Unit tests for trace loading and summarization."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Tracer, load_trace_events, summarize_trace
+
+
+def make_trace():
+    tr = Tracer(wall_clock=None)
+    for i in range(4):
+        heavy = 80 << 20 if i % 2 else 10 << 20
+        tr.instant("timeslice", "timeslice", float(i), track="rank0",
+                   index=i, iws_bytes=heavy)
+    tr.complete("disk.write", "storage", 0.5, 0.25, track="disk")
+    tr.complete("disk.write", "storage", 1.5, 0.75, track="disk")
+    tr.complete("commit", "checkpoint", 0.5, 1.0, track="ckpt.global")
+    return tr
+
+
+# -- loading -------------------------------------------------------------------
+
+def test_load_chrome_object(tmp_path):
+    path = make_trace().export(tmp_path / "t.json")
+    events = load_trace_events(path)
+    assert any(ev["ph"] == "M" for ev in events)
+    assert any(ev["ph"] == "X" for ev in events)
+
+
+def test_load_jsonl(tmp_path):
+    path = make_trace().export(tmp_path / "t.jsonl")
+    events = load_trace_events(path)
+    assert sum(1 for ev in events if ev["ph"] == "i") == 4
+
+
+def test_load_bare_array(tmp_path):
+    path = tmp_path / "bare.json"
+    path.write_text(json.dumps([{"name": "a", "ph": "i", "ts": 0}]))
+    assert load_trace_events(path) == [{"name": "a", "ph": "i", "ts": 0}]
+
+
+def test_load_missing_file_rejected(tmp_path):
+    with pytest.raises(ObservabilityError, match="no trace file"):
+        load_trace_events(tmp_path / "nope.json")
+
+
+def test_load_bad_json_rejected(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json")
+    with pytest.raises(ObservabilityError, match="bad JSON"):
+        load_trace_events(path)
+
+
+def test_load_wrong_shapes_rejected(tmp_path):
+    no_events = tmp_path / "noev.json"
+    no_events.write_text(json.dumps({"other": 1}))
+    with pytest.raises(ObservabilityError, match="traceEvents"):
+        load_trace_events(no_events)
+    scalar = tmp_path / "scalar.json"
+    scalar.write_text("42")
+    with pytest.raises(ObservabilityError, match="expected an object"):
+        load_trace_events(scalar)
+
+
+# -- summarizing ---------------------------------------------------------------
+
+def test_summary_counts_and_time_range(tmp_path):
+    path = make_trace().export(tmp_path / "t.json")
+    text = summarize_trace(load_trace_events(path))
+    assert "7 events (3 spans, 4 instants)" in text
+    assert "sim time 0.000s .. 3.000s" in text
+
+
+def test_summary_ranks_spans_by_total_time(tmp_path):
+    path = make_trace().export(tmp_path / "t.json")
+    text = summarize_trace(load_trace_events(path))
+    # disk.write total 1.0s ties commit 1.0s; both must appear
+    assert "disk.write" in text and "commit" in text
+    assert "timeslice" in text  # instant counts section
+
+
+def test_summary_burst_structure(tmp_path):
+    path = make_trace().export(tmp_path / "t.json")
+    text = summarize_trace(load_trace_events(path))
+    assert "burst structure: 4 timeslices" in text
+    assert "2 heavy slice(s)" in text
+    assert "2 light" in text
+
+
+def test_summary_flat_iws():
+    tr = Tracer(wall_clock=None)
+    for i in range(3):
+        tr.instant("timeslice", "timeslice", float(i), track="r0",
+                   iws_bytes=1 << 20)
+    text = summarize_trace(tr.events)
+    assert "flat IWS" in text
+
+
+def test_summary_empty_trace():
+    assert "empty trace" in summarize_trace([])
+    meta_only = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                  "args": {"name": "x"}}]
+    assert "empty trace" in summarize_trace(meta_only)
+
+
+def test_summary_top_limits_rows(tmp_path):
+    tr = Tracer(wall_clock=None)
+    for i in range(5):
+        tr.complete(f"span{i}", "exec", 0.0, float(i + 1), track="t")
+    text = summarize_trace(tr.events, top=2)
+    assert "showing 2 of 5" in text
+    assert "span4" in text      # longest total survives the cut
+    assert "span0" not in text  # shortest does not

@@ -100,6 +100,93 @@ def test_cancelled_events_do_not_advance_clock():
     assert eng.now == 5.0
 
 
+# -- dispatch/cancel/compaction statistics ------------------------------------
+
+def test_stats_counts_dispatch_cancel_and_compaction():
+    eng = Engine()
+    for i in range(100):
+        eng.schedule(float(i), int)
+    doomed = [eng.schedule(float(i) + 0.5, int) for i in range(110)]
+    for ev in doomed:
+        ev.cancel()
+    eng.run()
+    stats = eng.stats()
+    assert stats["dispatched"] == 100
+    assert stats["cancelled"] == 110
+    assert stats["compactions"] >= 1
+    assert stats["pending"] == 0
+
+
+def test_stats_accumulate_across_stop_and_resume():
+    """The fault driver stops and resumes one engine per life; counters
+    must span the whole engine lifetime, not reset at stop()."""
+    eng = Engine()
+    eng.schedule(1.0, eng.stop)
+    eng.schedule(2.0, int)
+    eng.run()
+    first = eng.stats()["dispatched"]
+    assert first == 1
+    eng.run()
+    assert eng.stats()["dispatched"] == 2
+
+
+def test_reset_stats_zeroes_counters_but_not_heap_bookkeeping():
+    eng = Engine()
+    live = eng.schedule(1.0, int)
+    doomed = eng.schedule(2.0, int)
+    doomed.cancel()
+    eng.step()
+    assert eng.stats() == {"dispatched": 1, "cancelled": 1,
+                           "compactions": 0, "pending": 0}
+    eng.reset_stats()
+    stats = eng.stats()
+    assert stats["dispatched"] == 0
+    assert stats["cancelled"] == 0
+    assert stats["compactions"] == 0
+    # the live-heap corpse count is bookkeeping, not a statistic: the
+    # cancelled entry is still queued and pending_events must stay exact
+    assert eng.pending_events() == 0
+    assert not live.cancelled
+    assert eng.step() is False
+
+
+def test_reset_stats_between_runs_gives_clean_second_run():
+    eng = Engine()
+    eng.schedule(1.0, int)
+    eng.schedule(2.0, int)
+    eng.run()
+    eng.reset_stats()
+    eng.schedule(1.0, int)
+    eng.run()
+    assert eng.stats()["dispatched"] == 1
+
+
+def test_step_counts_toward_dispatched():
+    eng = Engine()
+    eng.schedule(1.0, int)
+    eng.schedule(2.0, int)
+    assert eng.step() is True
+    assert eng.stats()["dispatched"] == 1
+    eng.run()
+    assert eng.stats()["dispatched"] == 2
+
+
+def test_publish_metrics_exports_engine_gauges():
+    from repro.obs import MetricsRegistry
+
+    eng = Engine()
+    eng.schedule(1.0, int)
+    ev = eng.schedule(2.0, int)
+    ev.cancel()
+    eng.run()
+    reg = MetricsRegistry()
+    eng.publish_metrics(reg)
+    snap = reg.snapshot()
+    assert snap["sim.engine.dispatched"]["value"] == 1
+    assert snap["sim.engine.cancelled"]["value"] == 1
+    assert snap["sim.engine.pending"]["value"] == 0
+
+
 # -- same-instant ordering -----------------------------------------------------
 
 def test_timer_beats_wakeup_at_same_instant():

@@ -1,0 +1,149 @@
+"""CLI surface contract: --help availability, exit codes, and the
+observability flags on run/sweep/faults-run plus ``obs view``."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+# -- --help for every subcommand ----------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["--help"],
+    ["list-apps", "--help"],
+    ["run", "--help"],
+    ["sweep", "--help"],
+    ["feasibility", "--help"],
+    ["table1", "--help"],
+    ["validate", "--help"],
+    ["report", "--help"],
+    ["faults", "--help"],
+    ["faults", "run", "--help"],
+    ["obs", "--help"],
+    ["obs", "view", "--help"],
+    ["analyze", "--help"],
+])
+def test_help_exits_zero(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 0
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_obs_flags_documented_in_help(capsys):
+    for sub in (["run"], ["sweep"], ["faults", "run"]):
+        with pytest.raises(SystemExit):
+            main(sub + ["--help"])
+        text = capsys.readouterr().out
+        assert "--trace-out" in text
+        assert "--metrics-out" in text
+        assert "--progress" in text
+
+
+# -- argparse error exit codes -------------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["no-such-command"],
+    [],
+    ["run"],                      # --app is required
+    ["run", "--app", "bogus"],
+    ["faults", "run", "--app", "lu"],   # needs --mtbf or --plan
+    ["obs"],                      # needs a subcommand
+    ["sweep", "--app", "lu", "--jobs", "0"],
+])
+def test_bad_usage_exits_two(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    capsys.readouterr()  # swallow the usage message
+
+
+# -- observability flags end to end -------------------------------------------
+
+def test_run_writes_trace_and_metrics(tmp_path):
+    trace = tmp_path / "run.json"
+    metrics = tmp_path / "run-metrics.json"
+    code, out = run_cli("run", "--app", "lu", "--ranks", "2",
+                        "--duration", "6",
+                        "--trace-out", str(trace),
+                        "--metrics-out", str(metrics))
+    assert code == 0
+    assert f"trace written to {trace}" in out
+    data = json.loads(trace.read_text())
+    assert data["traceEvents"]
+    snap = json.loads(metrics.read_text())
+    assert snap["instrument.slices"]["value"] > 0
+
+
+def test_faults_run_trace_then_obs_view(tmp_path):
+    trace = tmp_path / "faults.json"
+    code, _ = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                      "--duration", "8", "--timeslice", "0.5",
+                      "--mtbf", "6", "--seed", "3",
+                      "--trace-out", str(trace))
+    assert code == 0
+    code, out = run_cli("obs", "view", str(trace))
+    assert code == 0
+    assert "trace:" in out
+    assert "timeslice" in out
+
+
+def test_obs_view_top_flag(tmp_path):
+    trace = tmp_path / "t.json"
+    run_cli("run", "--app", "lu", "--ranks", "2", "--duration", "6",
+            "--trace-out", str(trace))
+    code, out = run_cli("obs", "view", str(trace), "--top", "1")
+    assert code == 0
+
+
+def test_obs_view_bad_file_exits_two(tmp_path, capsys):
+    code, _ = run_cli("obs", "view", str(tmp_path / "missing.json"))
+    assert code == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    code, _ = run_cli("obs", "view", str(bad))
+    assert code == 2
+
+
+def test_sweep_metrics_out(tmp_path):
+    metrics = tmp_path / "sweep.txt"
+    code, out = run_cli("sweep", "--app", "lu", "--ranks", "2",
+                        "--duration", "6", "--timeslices", "1,2",
+                        "--no-cache", "--metrics-out", str(metrics))
+    assert code == 0
+    text = metrics.read_text()
+    assert "exec.runs" in text
+    assert "exec.run " in text or "exec.run\t" in text or "exec.run" in text
+
+
+def test_progress_flag_writes_stderr(tmp_path, capsys):
+    code, _ = run_cli("run", "--app", "lu", "--ranks", "2",
+                      "--duration", "6", "--progress")
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "slices" in err
+
+
+def test_trace_out_same_seed_sim_identical(tmp_path):
+    from repro.obs import load_trace_events, strip_wall_times
+
+    paths = []
+    for tag in ("a", "b"):
+        trace = tmp_path / f"{tag}.json"
+        code, _ = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                          "--duration", "8", "--timeslice", "0.5",
+                          "--mtbf", "6", "--seed", "3",
+                          "--trace-out", str(trace))
+        assert code == 0
+        paths.append(trace)
+    a, b = (strip_wall_times(load_trace_events(p)) for p in paths)
+    assert a == b

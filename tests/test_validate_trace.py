@@ -1,0 +1,104 @@
+"""Tests for the tools/validate_trace.py Chrome-trace validator."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Tracer
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "validate_trace.py"
+
+
+@pytest.fixture(scope="module")
+def vt():
+    spec = importlib.util.spec_from_file_location("validate_trace", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def good_trace(tmp_path, name="t.json", wall=False):
+    tr = Tracer(wall_clock=(None if not wall else __import__("time").perf_counter))
+    tr.instant("alarm", "timeslice", 1.0, track="r0", index=0)
+    tr.complete("disk.write", "storage", 1.5, 0.25, track="disk")
+    return tr.export(tmp_path / name)
+
+
+def test_valid_trace_passes(vt, tmp_path, capsys):
+    path = good_trace(tmp_path)
+    assert vt.main([str(path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_missing_file_is_usage_error(vt, tmp_path, capsys):
+    assert vt.main([str(tmp_path / "nope.json")]) == 2
+    capsys.readouterr()
+
+
+def test_bad_phase_fails(vt, tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(
+        [{"name": "x", "ph": "Q", "ts": 0, "pid": 1, "tid": 1}]))
+    assert vt.main([str(path)]) == 1
+    assert "unknown phase" in capsys.readouterr().err
+
+
+def test_nonfinite_ts_fails(vt, tmp_path, capsys):
+    path = tmp_path / "nan.json"
+    path.write_text(json.dumps(
+        [{"name": "x", "ph": "i", "ts": float("nan"), "pid": 1, "tid": 1}]))
+    assert vt.main([str(path)]) == 1
+    assert "ts must be finite" in capsys.readouterr().err
+
+
+def test_negative_dur_fails(vt, tmp_path, capsys):
+    path = tmp_path / "neg.json"
+    path.write_text(json.dumps(
+        [{"name": "x", "ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1}]))
+    assert vt.main([str(path)]) == 1
+    assert "dur must be finite" in capsys.readouterr().err
+
+
+def test_min_events_enforced(vt, tmp_path, capsys):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(
+        [{"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 1}]))
+    assert vt.main([str(path), "--min-events", "5"]) == 1
+    capsys.readouterr()
+
+
+def test_same_sim_comparison_passes_for_identical(vt, tmp_path, capsys):
+    a = good_trace(tmp_path, "a.json")
+    b = good_trace(tmp_path, "b.json")
+    assert vt.main([str(a), "--same-sim-as", str(b)]) == 0
+    assert "sim-identical" in capsys.readouterr().out
+
+
+def test_same_sim_ignores_wall_annotations(vt, tmp_path, capsys):
+    a = good_trace(tmp_path, "a.json", wall=True)
+    b = good_trace(tmp_path, "b.json", wall=True)
+    # wall stamps differ between the two tracers, sim time does not
+    assert json.loads(a.read_text()) != json.loads(b.read_text())
+    assert vt.main([str(a), "--same-sim-as", str(b)]) == 0
+    capsys.readouterr()
+
+
+def test_same_sim_detects_divergence(vt, tmp_path, capsys):
+    a = good_trace(tmp_path, "a.json")
+    tr = Tracer(wall_clock=None)
+    tr.instant("alarm", "timeslice", 2.0, track="r0", index=0)  # shifted
+    tr.complete("disk.write", "storage", 1.5, 0.25, track="disk")
+    b = tr.export(tmp_path / "b.json")
+    assert vt.main([str(a), "--same-sim-as", str(b)]) == 1
+    assert "differs" in capsys.readouterr().err
+
+
+def test_same_sim_detects_count_mismatch(vt, tmp_path, capsys):
+    a = good_trace(tmp_path, "a.json")
+    tr = Tracer(wall_clock=None)
+    tr.instant("alarm", "timeslice", 1.0, track="r0", index=0)
+    b = tr.export(tmp_path / "b.json")
+    assert vt.main([str(a), "--same-sim-as", str(b)]) == 1
+    assert "event counts differ" in capsys.readouterr().err

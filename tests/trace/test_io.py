@@ -51,6 +51,53 @@ def test_npz_suffix_tolerated(tmp_path):
     assert len(loaded) == len(log)
 
 
+def test_json_suffix_tolerated(tmp_path):
+    """The metadata sibling's name must address the same trace."""
+    log = make_log()
+    save_trace(log, tmp_path / "run")
+    loaded = load_trace(tmp_path / "run.json")
+    assert len(loaded) == len(log)
+
+
+def test_dotted_stem_survives_normalization(tmp_path):
+    """A dotted basename like run.v2 must not be truncated to run by
+    suffix handling (the with_suffix pitfall)."""
+    log = make_log()
+    path = save_trace(log, tmp_path / "run.v2")
+    assert path.name == "run.v2.npz"
+    assert (tmp_path / "run.v2.json").exists()
+    for alias in ("run.v2", "run.v2.npz", "run.v2.json"):
+        assert len(load_trace(tmp_path / alias)) == len(log)
+
+
+def test_directory_target_rejected(tmp_path):
+    (tmp_path / "adir").mkdir()
+    with pytest.raises(ConfigurationError, match="directory"):
+        save_trace(make_log(), tmp_path / "adir")
+    with pytest.raises(ConfigurationError, match="directory"):
+        load_trace(tmp_path / "adir")
+
+
+def test_roundtrip_nonfinite_values(tmp_path):
+    """NaN/inf in float columns must survive the npz round trip (JSON
+    would have mangled them; the columns live in npz precisely so they
+    do not)."""
+    import dataclasses
+
+    base = make_log(n=3)
+    log = TraceLog(rank=base.rank, timeslice=base.timeslice,
+                   page_size=base.page_size, app_name=base.app_name)
+    log.append(base.records[0])
+    log.append(dataclasses.replace(base.records[1], t_end=float("inf")))
+    log.append(dataclasses.replace(base.records[2],
+                                   overhead_time=float("nan")))
+    save_trace(log, tmp_path / "weird")
+    loaded = load_trace(tmp_path / "weird")
+    assert loaded.records[1].t_end == float("inf")
+    assert np.isnan(loaded.records[2].overhead_time)
+    assert loaded.records[0].t_end == log.records[0].t_end
+
+
 def test_missing_trace_rejected(tmp_path):
     with pytest.raises(ConfigurationError):
         load_trace(tmp_path / "nothing")

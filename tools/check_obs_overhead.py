@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Assert that disabled observability is free on the simulator hot path.
+
+The contract (DESIGN.md section 6.8): with no tracer/metrics/progress
+requested, the engine's per-event cost over a bare run is one integer
+increment and one truthiness check.  This gate measures it end to end:
+the same experiment is run with ``obs=None`` (the baseline) and with a
+*disabled* :class:`~repro.obs.Observability` attached (what every
+component sees when no flag was passed), best-of-N each, and fails when
+the attached-but-disabled run is more than ``--max-pct`` slower.
+
+A fully *enabled* tracer+metrics run is also timed and reported, purely
+informationally -- enabled tracing is allowed to cost; disabled tracing
+is not.
+
+Exit codes: 0 within budget, 1 over budget.
+
+Usage:
+
+    PYTHONPATH=src python tools/check_obs_overhead.py \
+        [--max-pct 2.0] [--repeats 5] [--duration 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cluster.experiment import paper_config, run_experiment  # noqa: E402
+from repro.obs import MetricsRegistry, Observability, Tracer       # noqa: E402
+
+
+def time_once(duration: float, obs) -> float:
+    config = paper_config("sweep3d", nranks=2, timeslice=1.0,
+                          run_duration=duration)
+    t0 = time.perf_counter()
+    run_experiment(config, obs=obs)
+    return time.perf_counter() - t0
+
+
+def measure_interleaved(repeats: int, duration: float,
+                        factories: list) -> list[list[float]]:
+    """Per-variant wall times over ``repeats`` interleaved rounds.
+    Interleaving matters: clock drift, cache warmth, and CPU frequency
+    excursions then hit every variant in the same round alike, so
+    *paired* per-round ratios cancel them."""
+    times: list[list[float]] = [[] for _ in factories]
+    for _ in range(repeats):
+        for i, make_obs in enumerate(factories):
+            times[i].append(time_once(duration, make_obs()))
+    return times
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-pct", type=float, default=2.0,
+                        help="allowed slowdown of the disabled-obs run, "
+                             "percent (default 2)")
+    parser.add_argument("--repeats", type=int, default=15,
+                        help="runs per variant; best (minimum) wall time "
+                             "is compared (default 15)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds per run (default 120: "
+                             "short runs drown a 2%% effect in timer noise)")
+    parser.add_argument("--attempts", type=int, default=3,
+                        help="re-measure up to N times; pass if ANY attempt "
+                             "is under budget (default 3).  A real "
+                             "regression fails every attempt; shared-runner "
+                             "contention noise does not.")
+    args = parser.parse_args(argv)
+
+    time_once(args.duration, None)  # warmup: imports, allocator, caches
+    for attempt in range(1, args.attempts + 1):
+        base_t, disabled_t, enabled_t = measure_interleaved(
+            args.repeats, args.duration,
+            [lambda: None,
+             lambda: Observability(),
+             lambda: Observability(tracer=Tracer(wall_clock=None),
+                                   metrics=MetricsRegistry())])
+
+        # the gate quantity: ratio of minima.  Scheduler noise only ever
+        # *adds* time, so the minimum over enough interleaved rounds
+        # converges on each variant's true cost from above.
+        base, disabled, enabled = min(base_t), min(disabled_t), min(enabled_t)
+        pct = (disabled / base - 1.0) * 100.0
+        enabled_pct = (enabled / base - 1.0) * 100.0
+        print(f"attempt {attempt}/{args.attempts}:")
+        print(f"  baseline (obs=None):        {base * 1e3:8.2f} ms")
+        print(f"  disabled obs attached:      {disabled * 1e3:8.2f} ms  "
+              f"({pct:+.2f}%)")
+        print(f"  enabled tracer+metrics:     {enabled * 1e3:8.2f} ms  "
+              f"({enabled_pct:+.2f}%, informational)")
+        if pct <= args.max_pct:
+            print(f"OK: disabled observability within the "
+                  f"{args.max_pct}% budget")
+            return 0
+        print(f"  over the {args.max_pct}% budget; re-measuring",
+              file=sys.stderr)
+    print(f"FAIL: disabled observability over the {args.max_pct}% budget "
+          f"in all {args.attempts} attempt(s)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

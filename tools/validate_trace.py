@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Validate a Chrome-trace file written by ``--trace-out``.
+
+Checks the structural contract every consumer (Perfetto, ``repro obs
+view``, the golden comparisons in CI) relies on:
+
+- the file parses as a Chrome trace object, bare event array, or JSONL
+  line stream;
+- every event has a string ``name``, a known phase (``X``, ``i``, or
+  ``M``), and integer ``pid``/``tid``;
+- non-metadata events carry a finite ``ts >= 0``;
+- complete spans (``X``) carry a finite ``dur >= 0``.
+
+With ``--same-sim-as OTHER`` it additionally asserts the two traces are
+bit-identical in *sim time*: wall-clock annotations (``args.wall``) are
+stripped from both sides first, since wall time legitimately differs
+between runs while everything else must not (the determinism contract).
+
+Exit codes: 0 valid, 1 validation failed, 2 usage or unreadable input.
+
+Usage:
+
+    PYTHONPATH=src python tools/validate_trace.py TRACE \
+        [--same-sim-as OTHER] [--min-events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.errors import ObservabilityError          # noqa: E402
+from repro.obs import load_trace_events, strip_wall_times  # noqa: E402
+
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def validate_events(events: list, label: str) -> list[str]:
+    """Every violated invariant, as one message per event."""
+    problems: list[str] = []
+
+    def bad(i: int, why: str) -> None:
+        problems.append(f"{label}: event {i}: {why}")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            bad(i, f"not an object: {ev!r}")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            bad(i, f"missing or empty name: {name!r}")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            bad(i, f"unknown phase {ph!r} (expected one of {sorted(KNOWN_PHASES)})")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                bad(i, f"{key} must be an integer, got {ev.get(key)!r}")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            bad(i, f"ts must be finite and >= 0, got {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if (not isinstance(dur, (int, float)) or not math.isfinite(dur)
+                    or dur < 0):
+                bad(i, f"dur must be finite and >= 0, got {dur!r}")
+    return problems
+
+
+def compare_sim_streams(a: list, b: list) -> list[str]:
+    """Differences between two traces' sim-time event streams (wall
+    clock stripped); empty when bit-identical."""
+    sa = strip_wall_times(a)
+    sb = strip_wall_times(b)
+    if len(sa) != len(sb):
+        return [f"event counts differ: {len(sa)} vs {len(sb)}"]
+    problems = []
+    for i, (ea, eb) in enumerate(zip(sa, sb)):
+        if ea != eb:
+            problems.append(
+                f"event {i} differs:\n  a: {json.dumps(ea, sort_keys=True)}"
+                f"\n  b: {json.dumps(eb, sort_keys=True)}")
+            if len(problems) >= 5:
+                problems.append("... (further diffs suppressed)")
+                break
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome JSON or JSONL trace file")
+    parser.add_argument("--same-sim-as", metavar="OTHER", default=None,
+                        help="assert sim-time bit-identity with OTHER "
+                             "(args.wall stripped from both)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="require at least this many events (default 1)")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_trace_events(args.trace)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = validate_events(events, args.trace)
+    if len(events) < args.min_events:
+        problems.append(f"{args.trace}: only {len(events)} event(s), "
+                        f"need >= {args.min_events}")
+
+    if args.same_sim_as is not None:
+        try:
+            other = load_trace_events(args.same_sim_as)
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        problems += validate_events(other, args.same_sim_as)
+        problems += compare_sim_streams(events, other)
+
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"FAIL: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"OK: {args.trace}: {len(events)} events ({spans} spans) valid"
+          + ("" if args.same_sim_as is None
+             else f"; sim-identical to {args.same_sim_as}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
