@@ -17,7 +17,14 @@ trajectory to compare against:
    disabled :class:`repro.obs.Observability` attached (must be free;
    gated separately by ``tools/check_obs_overhead.py``), and with a
    live tracer+metrics registry (allowed to cost; tracked here so the
-   enabled price has a trajectory too).
+   enabled price has a trajectory too);
+5. **fig5** -- the macro benchmark: the full-scale 64-rank row of the
+   paper's Fig 5 (sage-1000MB across three timeslices), the workload
+   the matching/collective/alarm-path optimizations target.  Compared
+   against ``PRE_PR_REFERENCE`` so the speedup is part of the record.
+
+``tools/perf_gate.py`` compares a fresh ``--quick`` run against the
+committed ``BENCH_quick_reference.json`` and fails CI on regression.
 
 Run from the repo root::
 
@@ -49,6 +56,10 @@ OUT_PATH = HERE / "BENCH_sweep.json"
 FIG2_PANELS = ["sage-1000MB", "sweep3d", "bt", "sp", "ft", "lu"]
 FIG2_TIMESLICES = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0]
 
+FIG5_APP = "sage-1000MB"
+FIG5_NRANKS = 64
+FIG5_TIMESLICES = [1.0, 5.0, 20.0]
+
 #: measured at the growth seed (commit ac3c2e1), 1-CPU container --
 #: the "before" of this harness's first trajectory point
 SEED_REFERENCE = {
@@ -58,6 +69,18 @@ SEED_REFERENCE = {
     "pending_events_100x_over_50k_s": 0.094,
     "pagetable_4000_small_grows_s": 0.221,
     "fig2_sweep_serial_s": 1.8,
+}
+
+#: measured immediately before the full-scale-throughput PR (commit
+#: 4570746, same 1-CPU container) -- the "before" of its speedups
+PRE_PR_REFERENCE = {
+    "fig5_row_64rank_s": 8.257,
+    "sage_1000MB_64_ts1_s": 4.723,
+    "ft_64_ts1_s": 2.844,
+    "fig2_sweep_serial_cold_s": 1.667,
+    "fig2_sweep_parallel_cold_s": 2.401,
+    "speedup_parallel_vs_serial": 0.69,
+    "obs_enabled_overhead_pct": 11.73,
 }
 
 
@@ -155,6 +178,44 @@ def bench_obs(duration: float, repeats: int) -> dict:
     }
 
 
+def bench_fig5(timeslices: list[float], repeats: int) -> dict:
+    """The paper's Fig-5 64-rank row: one full-scale experiment per
+    timeslice, best row time over ``repeats``.  IB values double as a
+    cross-run determinism check (they must not vary between repeats)."""
+    from repro.cluster.experiment import run_experiment
+
+    best_row = float("inf")
+    per_ts: dict[str, float] = {}
+    ib: dict[str, float] = {}
+    for _ in range(repeats):
+        times: dict[str, float] = {}
+        for ts in timeslices:
+            t0 = time.perf_counter()
+            result = run_experiment(paper_config(FIG5_APP, nranks=FIG5_NRANKS,
+                                                 timeslice=ts))
+            times[str(ts)] = round(time.perf_counter() - t0, 3)
+            mbps = result.ib().avg_mbps
+            prev = ib.setdefault(str(ts), mbps)
+            assert prev == mbps, f"fig5 ts={ts} not deterministic"
+        row = sum(times.values())
+        if row < best_row:
+            best_row = row
+            per_ts = times
+    out = {
+        "app": FIG5_APP,
+        "nranks": FIG5_NRANKS,
+        "repeats": repeats,
+        "row_s": round(best_row, 3),
+        "per_timeslice_s": per_ts,
+        "ib_avg_mbps": ib,
+    }
+    if timeslices == FIG5_TIMESLICES:   # full mode: comparable to pre-PR
+        ref = PRE_PR_REFERENCE["fig5_row_64rank_s"]
+        out["pre_pr_row_s"] = ref
+        out["speedup_vs_pre_pr"] = round(ref / best_row, 2)
+    return out
+
+
 def _ib_table(results_by_panel: dict) -> dict:
     """IBStats flattened to comparable plain values."""
     return {
@@ -176,18 +237,32 @@ def _run_fig2(jobs: int, cache: ResultCache | None,
 
 def bench_sweep(jobs: int, panels: list[str],
                 timeslices: list[float]) -> dict:
-    """Cold serial vs cold parallel vs warm cache, plus determinism."""
-    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as tmp:
-        t0 = time.perf_counter()
-        serial = _run_fig2(jobs=1, cache=None, panels=panels,
-                           timeslices=timeslices)
-        serial_s = time.perf_counter() - t0
+    """Cold serial vs cold parallel vs warm cache, plus determinism.
 
-        cache = ResultCache(Path(tmp) / "cache")
-        t0 = time.perf_counter()
-        parallel = _run_fig2(jobs=jobs, cache=cache, panels=panels,
-                             timeslices=timeslices)
-        parallel_s = time.perf_counter() - t0
+    Both cold phases populate a (separate) cold cache, so they do
+    identical work -- simulate every point and persist it -- and the
+    parallel/serial ratio isolates parallelism against pool overhead
+    instead of charging the cache writes to one side only.  Each cold
+    phase is best-of-2 with a fresh cache per repeat: the first
+    parallel repeat absorbs the one-time fork-pool spawn, the second
+    measures the warm-pool steady state every later sweep sees."""
+    repeats = 2
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as tmp:
+        serial_s = float("inf")
+        for n in range(repeats):
+            serial_cache = ResultCache(Path(tmp) / f"serial-cache{n}")
+            t0 = time.perf_counter()
+            serial = _run_fig2(jobs=1, cache=serial_cache, panels=panels,
+                               timeslices=timeslices)
+            serial_s = min(serial_s, time.perf_counter() - t0)
+
+        parallel_s = float("inf")
+        for n in range(repeats):
+            cache = ResultCache(Path(tmp) / f"cache{n}")
+            t0 = time.perf_counter()
+            parallel = _run_fig2(jobs=jobs, cache=cache, panels=panels,
+                                 timeslices=timeslices)
+            parallel_s = min(parallel_s, time.perf_counter() - t0)
 
         t0 = time.perf_counter()
         warm = _run_fig2(jobs=jobs, cache=cache, panels=panels,
@@ -249,6 +324,15 @@ def main(argv=None) -> int:
           f"warm cache {sweep['warm_cache_s']}s "
           f"({sweep['speedup_warm_vs_serial']}x), "
           f"deterministic={sweep['bit_identical_across_modes']}")
+    fig5_ts = FIG5_TIMESLICES[:1] if args.quick else FIG5_TIMESLICES
+    print(f"fig5: {FIG5_APP} x {FIG5_NRANKS} ranks, "
+          f"timeslices {fig5_ts} ...", flush=True)
+    fig5 = bench_fig5(fig5_ts, repeats=1 if args.quick else 2)
+    line = f"  row {fig5['row_s']}s"
+    if "speedup_vs_pre_pr" in fig5:
+        line += (f" (pre-PR {fig5['pre_pr_row_s']}s, "
+                 f"{fig5['speedup_vs_pre_pr']}x)")
+    print(line)
 
     record = {
         "quick": args.quick,
@@ -258,7 +342,9 @@ def main(argv=None) -> int:
         "pagetable": pagetable,
         "obs": obs,
         "sweep": sweep,
+        "fig5": fig5,
         "seed_reference": SEED_REFERENCE,
+        "pre_pr_reference": PRE_PR_REFERENCE,
     }
     out = Path(args.out)
     out.write_text(json.dumps(record, indent=2) + "\n")

@@ -165,7 +165,7 @@ class ScientificApplication:
                 # carved out of the segments.
                 data = spec.footprint_bytes // 4
                 bss = (spec.footprint_bytes - data
-                       + 4 * (self.layout.page_size if self.layout else 65536))
+                       + 4 * self.layout.page_size)
             else:
                 # Sage: small static segments, the bulk arrives at run
                 # time through the allocator.

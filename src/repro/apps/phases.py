@@ -180,8 +180,7 @@ class HaloExchangePhase(Phase):
             region = rc.region(self.recv_region) if per_neighbor else None
             for r in range(self.rounds):
                 tag = rc.next_tag()
-                for nb in neighbors:
-                    rc.comm.send(nb, per_neighbor, tag)
+                rc.comm.send_many(neighbors, per_neighbor, tag)
                 offset = self.recv_offset
                 for nb in neighbors:
                     addr = None

@@ -102,6 +102,9 @@ class CheckpointEngine:
         self._poisoned: set[int] = set()
         #: ranks whose next capture must be full (chain head was lost)
         self._force_full: set[int] = set()
+        #: precomputed per-rank track names for the capture hot path
+        self._tracks = {r: f"ckpt.r{r}" for r in range(job.nranks)}
+        self._obs_cache = None
         # run after the library's own init hook, so the tracker exists
         job.init_hooks.append(self._on_rank_start)
 
@@ -141,14 +144,21 @@ class CheckpointEngine:
             ckpt = inc.capture(seq, taken_at=now)
         obs = self.job.engine.obs
         if obs.enabled:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not obs:
+                tracer = obs.tracer
+                cache = self._obs_cache = (
+                    obs,
+                    tracer if tracer.enabled and tracer.wants("checkpoint")
+                    else None)
             m = obs.metrics
             m.counter("checkpoint.captures").inc()
             m.counter(f"checkpoint.captures_{ckpt.kind}").inc()
             m.counter("checkpoint.bytes_captured").inc(ckpt.nbytes)
-            tracer = obs.tracer
-            if tracer.enabled and tracer.wants("checkpoint"):
+            tracer = cache[1]
+            if tracer is not None:
                 tracer.instant("capture", "checkpoint", now,
-                               track=f"ckpt.r{rank}", seq=seq,
+                               track=self._tracks[rank], seq=seq,
                                kind=ckpt.kind, bytes=ckpt.nbytes)
         self._write_out(rank, ckpt)
 

@@ -82,6 +82,10 @@ class DirtyPageTracker:
         #: *before* the dirty set is reset -- the seam the incremental
         #: checkpoint engine uses to harvest the slice's dirty pages
         self.slice_listeners: list = []
+        #: per-obs cached alarm-path lookups (track string, counters,
+        #: tracer wants-decision); the alarm fires thousands of times
+        self._track = f"rank{self.log.rank}"
+        self._obs_cache = None
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -134,18 +138,34 @@ class DirtyPageTracker:
         cost = nfaults * self.config.fault_cost
         self._charge(cost)
 
+    def _alarm_obs(self, obs):
+        cache = self._obs_cache
+        if cache is None or cache[0] is not obs:
+            tracer = obs.tracer
+            m = obs.metrics
+            cache = self._obs_cache = (
+                obs,
+                tracer if tracer.enabled and tracer.wants("timeslice")
+                else None,
+                m.counter("instrument.slices"),
+                m.counter("instrument.pages_dirtied"),
+                m.counter("instrument.pages_protected"),
+                m.counter("instrument.faults"),
+            )
+        return cache
+
     def _on_alarm(self, index: int) -> None:
         """SIGALRM: log the slice, reset, re-protect."""
         mem = self.process.memory
         now = self.engine.now
-        iws_pages = mem.dirty_pages()
+        iws_pages, footprint = mem.data_summary()
         record = TimesliceRecord(
             index=index,
             t_start=self._slice_start,
             t_end=now,
             iws_pages=iws_pages,
             iws_bytes=iws_pages * mem.page_size,
-            footprint_bytes=mem.data_footprint(),
+            footprint_bytes=footprint,
             faults=self._slice_faults,
             received_bytes=self._slice_received,
             overhead_time=self._slice_overhead,
@@ -153,8 +173,7 @@ class DirtyPageTracker:
         self.log.append(record)
         for listener in self.slice_listeners:
             listener(record, self)
-        mem.reset_dirty()
-        protected = mem.protect_data()
+        protected = mem.reset_and_protect()
         self._slice_start = now
         self._slice_faults = 0
         self._slice_received = 0
@@ -162,19 +181,19 @@ class DirtyPageTracker:
         self._charge(protected * self.config.reprotect_cost_per_page)
         obs = self.engine.obs
         if obs.enabled:
-            tracer = obs.tracer
-            if tracer.enabled and tracer.wants("timeslice"):
+            (_, tracer, ctr_slices, ctr_dirtied, ctr_protected,
+             ctr_faults) = self._alarm_obs(obs)
+            if tracer is not None:
                 tracer.instant("timeslice", "timeslice", now,
-                               track=f"rank{self.log.rank}",
+                               track=self._track,
                                index=index, iws_pages=record.iws_pages,
                                iws_bytes=record.iws_bytes,
                                faults=record.faults,
                                footprint_bytes=record.footprint_bytes)
-            m = obs.metrics
-            m.counter("instrument.slices").inc()
-            m.counter("instrument.pages_dirtied").inc(record.iws_pages)
-            m.counter("instrument.pages_protected").inc(protected)
-            m.counter("instrument.faults").inc(record.faults)
+            ctr_slices.inc()
+            ctr_dirtied.inc(record.iws_pages)
+            ctr_protected.inc(protected)
+            ctr_faults.inc(record.faults)
             if obs.progress is not None:
                 obs.progress.on_slice(self.log.rank, record, now)
 

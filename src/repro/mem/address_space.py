@@ -89,6 +89,15 @@ class AddressSpace:
         self.fault_listeners: list[FaultListener] = []
         self.map_listeners: list[MapListener] = []
         self.unmap_listeners: list[MapListener] = []
+        #: cached data-memory segment list (the alarm sweep walks it four
+        #: times per timeslice); rebuilt after any mmap/munmap
+        self._data_cache: Optional[list[Segment]] = None
+        #: last segment a lookup resolved to -- stores stream to the same
+        #: region, so this hits almost always; cleared on unmap
+        self._last_seg: Optional[Segment] = None
+        #: cached (total_pages, total_bytes) over the data segments;
+        #: invalidated on map/unmap and on sbrk (heap size changes)
+        self._data_totals: Optional[tuple[int, int]] = None
         #: deepest stack page ever written (index within the stack
         #: segment); None until the first stack write.  The stack grows
         #: down from stack_top, so depth = (npages - lowest index) pages.
@@ -120,9 +129,30 @@ class AddressSpace:
     def data_segments(self) -> Iterator[Segment]:
         """The *data memory* of the paper: initialized data, BSS, heap,
         and mmap'ed regions -- what gets protected and checkpointed."""
-        for seg in self.segments():
-            if seg.kind.is_data_memory:
-                yield seg
+        return iter(self._data_list())
+
+    def _data_list(self) -> list[Segment]:
+        cached = self._data_cache
+        if cached is None:
+            cached = self._data_cache = [seg for seg in self.segments()
+                                         if seg.kind.is_data_memory]
+        return cached
+
+    def _invalidate_caches(self) -> None:
+        self._data_cache = None
+        self._last_seg = None
+        self._data_totals = None
+
+    def _totals(self) -> tuple[int, int]:
+        totals = self._data_totals
+        if totals is None:
+            npages = 0
+            nbytes = 0
+            for seg in self._data_list():
+                npages += seg.pages.npages
+                nbytes += seg.size
+            totals = self._data_totals = (npages, nbytes)
+        return totals
 
     def mmap_segments(self) -> list[Segment]:
         """The mmap'ed segments, ordered by base address."""
@@ -130,14 +160,43 @@ class AddressSpace:
 
     def find_segment(self, addr: int) -> Optional[Segment]:
         """The segment containing ``addr``, or None if unmapped."""
+        last = self._last_seg
+        if last is not None and last.contains(addr):
+            return last
         for seg in self.segments():
             if seg.contains(addr):
+                self._last_seg = seg
                 return seg
         return None
 
     def data_footprint(self) -> int:
         """Bytes of mapped data memory (the paper's 'memory footprint')."""
-        return sum(seg.size for seg in self.data_segments())
+        return self._totals()[1]
+
+    def data_summary(self) -> tuple[int, int]:
+        """``(dirty_pages, footprint_bytes)`` -- the alarm handler's read
+        side.  Dirty counts are O(1) per segment (PageTable maintains
+        them incrementally); the footprint comes from the totals cache."""
+        dirty = 0
+        for seg in self._data_list():
+            dirty += seg.pages._ndirty
+        return dirty, self._totals()[1]
+
+    def reset_and_protect(self) -> int:
+        """Clear dirty bits and re-arm write protection on every data
+        page in one pass (the alarm handler's write side); returns the
+        number of pages protected.
+
+        Segments untouched since the last sweep (clean and still fully
+        protected) are skipped via the page tables' O(1) flags; the
+        returned charge count still covers every data page, exactly as
+        an unconditional mprotect sweep would."""
+        for seg in self._data_list():
+            pages = seg.pages
+            if pages._ndirty or not pages._all_protected:
+                pages.reset_dirty()
+                pages.protect_all()
+        return self._totals()[0]
 
     # -- write paths ----------------------------------------------------------------
 
@@ -237,6 +296,8 @@ class AddressSpace:
             raise MappingError(f"sbrk({delta}) exceeds heap limit")
         old_npages = self.heap.npages
         self.heap.resize_pages(new_size // self.page_size)
+        # segment identity is stable, but the cached data totals are not
+        self._data_totals = None
         for listener in self.heap_resize_listeners:
             listener(old_npages, self.heap.npages)
         return old
@@ -255,6 +316,7 @@ class AddressSpace:
                       name=name or f"mmap@{base:#x}",
                       store_contents=self.store_contents)
         self._mmaps[base] = seg
+        self._invalidate_caches()
         for listener in self.map_listeners:
             listener(seg)
         return seg
@@ -280,6 +342,7 @@ class AddressSpace:
                       name=name or f"mmap@{base:#x}",
                       store_contents=self.store_contents)
         self._mmaps[base] = seg
+        self._invalidate_caches()
         for listener in self.map_listeners:
             listener(seg)
         return seg
@@ -322,6 +385,7 @@ class AddressSpace:
                 f"munmap range [{addr:#x}, {addr + size:#x}) is not a mapped "
                 "sub-range of any mmap segment")
         del self._mmaps[seg.base]
+        self._invalidate_caches()
         for listener in self.unmap_listeners:
             listener(seg)
 
@@ -337,6 +401,7 @@ class AddressSpace:
             if seg.contents is not None:
                 del seg.contents[head_pages * self.page_size:]
             self._mmaps[seg.base] = seg
+            self._invalidate_caches()
         else:
             mid_table = seg.pages
         if addr + size < orig_end:
@@ -351,6 +416,7 @@ class AddressSpace:
                 tail.contents = bytearray(
                     orig_contents[off:off + (orig_end - tail_base)])
             self._mmaps[tail_base] = tail
+            self._invalidate_caches()
             for listener in self.map_listeners:
                 listener(tail)
 

@@ -36,12 +36,24 @@ class PageTable:
     """Page-granular protection / dirty / version state."""
 
     __slots__ = ("npages", "protected", "dirty", "versions",
-                 "_capacity", "_protected_buf", "_dirty_buf", "_versions_buf")
+                 "_capacity", "_protected_buf", "_dirty_buf", "_versions_buf",
+                 "_ndirty", "_dirty_overlap", "_all_protected")
 
     def __init__(self, npages: int):
         if npages < 0:
             raise MappingError(f"negative page count: {npages}")
         self.npages = npages
+        #: exact dirty-page count, maintained incrementally so the
+        #: per-timeslice alarm sweep is O(1) per segment instead of a
+        #: count_nonzero scan
+        self._ndirty = 0
+        #: True when protection may have been armed over dirty pages
+        #: (protect-without-reset); forces the slow newly-dirty count in
+        #: cpu_write until the next reset
+        self._dirty_overlap = False
+        #: True when every page is known write-protected -- lets the
+        #: alarm's re-protect sweep skip untouched segments entirely
+        self._all_protected = False
         self._allocate(npages, npages)
 
     def _allocate(self, capacity: int, preserve: int = 0) -> None:
@@ -77,11 +89,31 @@ class PageTable:
         """
         self._check_range(lo, hi)
         sl = slice(lo, hi)
+        if self._all_protected and not self._dirty_overlap and lo < hi:
+            # first store after a full re-protect sweep: every page in
+            # range faults, none is dirty -- plain fills, no counting
+            nfaults = hi - lo
+            self.dirty[sl] = True
+            self.protected[sl] = False
+            self._ndirty += nfaults
+            self._all_protected = False
+            self.versions[sl] = version
+            return nfaults
         prot = self.protected[sl]
         nfaults = int(np.count_nonzero(prot))
         if nfaults:
+            if self._dirty_overlap:
+                # protection was armed over an existing dirty set, so a
+                # faulting page may already be dirty: count exactly
+                newly = nfaults - int(np.count_nonzero(self.dirty[sl] & prot))
+            else:
+                # invariant dirty & protected == 0 holds (reset always
+                # precedes re-protect), so every fault dirties a new page
+                newly = nfaults
             self.dirty[sl] |= prot
             self.protected[sl] = False
+            self._ndirty += newly
+            self._all_protected = False
         self.versions[sl] = version
         return nfaults
 
@@ -111,22 +143,45 @@ class PageTable:
 
     def protect_all(self) -> None:
         """Write-protect every page (the alarm handler's re-protect sweep)."""
-        self.protected[:] = True
+        if not self._all_protected:
+            self.protected[:] = True
+            self._all_protected = True
+        if self._ndirty:
+            self._dirty_overlap = True
 
     def protect_range(self, lo: int, hi: int, value: bool = True) -> None:
         """mprotect a sub-range."""
         self._check_range(lo, hi)
         self.protected[lo:hi] = value
+        if value:
+            if self._ndirty:
+                self._dirty_overlap = True
+            if lo == 0 and hi == self.npages:
+                self._all_protected = True
+        elif lo < hi:
+            self._all_protected = False
 
     def unprotect_all(self) -> None:
         """Drop write protection from every page."""
         self.protected[:] = False
+        self._all_protected = False
+        # no protected page survives, so no protected page is dirty
+        self._dirty_overlap = False
+
+    def any_protected(self, lo: int, hi: int) -> bool:
+        """Whether any page in ``[lo, hi)`` is write-protected."""
+        self._check_range(lo, hi)
+        if lo >= hi:
+            return False
+        if self._all_protected:
+            return True
+        return bool(self.protected[lo:hi].any())
 
     # -- dirty accounting --------------------------------------------------------
 
     def dirty_count(self) -> int:
-        """Number of dirty pages."""
-        return int(np.count_nonzero(self.dirty))
+        """Number of dirty pages.  O(1): maintained incrementally."""
+        return self._ndirty
 
     def dirty_indices(self) -> np.ndarray:
         """Indices of dirty pages (ascending)."""
@@ -134,7 +189,10 @@ class PageTable:
 
     def reset_dirty(self) -> None:
         """Clear the dirty set (start of a new timeslice)."""
-        self.dirty[:] = False
+        if self._ndirty:
+            self.dirty[:] = False
+            self._ndirty = 0
+        self._dirty_overlap = False
 
     # -- growth / shrink ------------------------------------------------------------
 
@@ -161,6 +219,12 @@ class PageTable:
             self._versions_buf[old:npages] = 0
         self.npages = npages
         self._reslice()
+        if npages < old:
+            # dropped pages may have been dirty: recount the survivors
+            self._ndirty = int(np.count_nonzero(self.dirty))
+        else:
+            # new pages arrive unprotected
+            self._all_protected = False
 
     def split(self, at: int) -> "PageTable":
         """Split off pages ``[at, npages)`` into a new table (for partial
@@ -170,6 +234,9 @@ class PageTable:
         tail.protected[:] = self.protected[at:]
         tail.dirty[:] = self.dirty[at:]
         tail.versions[:] = self.versions[at:]
+        tail._ndirty = int(np.count_nonzero(tail.dirty))
+        tail._dirty_overlap = self._dirty_overlap
+        tail._all_protected = False
         self.resize(at)
         return tail
 

@@ -4,6 +4,23 @@ Matching follows the MPI rules: a posted receive names a source and tag
 (either may be a wildcard) and matches arrivals in order; messages that
 arrive before a matching receive is posted wait in the unexpected queue.
 
+Both sides of the match are indexed so the common case is O(1):
+
+- posted receives live in per-``(source, tag)`` deques keyed exactly as
+  posted (wildcards included), stamped with a post sequence number.  An
+  arrival probes the four keys that could match it -- ``(src, tag)``,
+  ``(src, ANY)``, ``(ANY, tag)``, ``(ANY, ANY)`` -- and takes the head
+  with the smallest stamp, which is the *oldest compatible posted
+  receive* exactly as the linear scan found it;
+- unexpected messages live in per-``(src, tag)`` deques (both concrete
+  on arrival) stamped with an arrival sequence number.  A specific
+  receive pops its class head in O(1); a wildcard receive falls back to
+  scanning the heads of the live classes for the smallest stamp -- the
+  *oldest compatible arrival*.  Empty deques are deleted eagerly, so
+  the fallback scan is bounded by classes with messages actually
+  queued (collectives mint fresh tags forever; stale keys must not
+  accumulate).
+
 Delivery into user memory goes through the NIC: by default the QsNet
 direct path (DMA, invisible to dirty tracking); when the instrumentation
 library has installed its receive interceptor, the bounce-buffer path
@@ -12,8 +29,9 @@ library has installed its receive interceptor, the bounce-buffer path
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import MPIError, RankError
 from repro.net import Message, Network, NIC
@@ -32,6 +50,8 @@ class PostedRecv:
     addr: Optional[int]
     size: int
     future: Future = field(repr=False)
+    #: post-order stamp; ties across match classes resolve to the oldest
+    seq: int = 0
 
     def matches(self, msg: Message) -> bool:
         """MPI matching: source and tag agree (wildcards allowed)."""
@@ -69,8 +89,14 @@ class RankComm:
     def __init__(self, world: World, rank: int):
         self.world = world
         self.rank = rank
-        self._pending: list[PostedRecv] = []
-        self._unexpected: list[Message] = []
+        #: posted receives, keyed by (source, tag) exactly as posted
+        self._pending_by_key: dict[tuple[int, int], deque[PostedRecv]] = {}
+        #: unexpected messages, keyed by concrete (src, tag); entries are
+        #: (arrival_seq, Message)
+        self._unexp_by_key: dict[tuple[int, int],
+                                 deque[tuple[int, Message]]] = {}
+        self._post_seq = 0
+        self._arrival_seq = 0
         self._coll_seq = 0
         #: interception decision hook installed by the instrumentation
         #: library; None means raw QsNet DMA deposits.
@@ -113,6 +139,31 @@ class RankComm:
         self.bytes_sent += nbytes
         return msg
 
+    def send_many(self, dests: Sequence[int], nbytes: int, tag: int = 0,
+                  payload: Any = None) -> list[Message]:
+        """Eager fan-out: one ``nbytes`` message to each destination, in
+        order, through the network's batched injection path.
+
+        Timing and accounting are identical to calling :meth:`send` once
+        per destination; the engine sees one delivery event per distinct
+        arrival time instead of one per message.
+        """
+        if tag < 0:
+            raise MPIError(f"application tags must be non-negative, got {tag}")
+        return self._send_many(dests, nbytes, tag, payload)
+
+    def _send_many(self, dests: Sequence[int], nbytes: int, tag: int,
+                   payload: Any) -> list[Message]:
+        size = self.size
+        for dest in dests:
+            if not (0 <= dest < size):
+                raise RankError(dest, size)
+        msgs = [Message(src=self.rank, dst=dest, size=nbytes, tag=tag,
+                        payload=payload) for dest in dests]
+        self.world.network.send_many(msgs)
+        self.bytes_sent += nbytes * len(msgs)
+        return msgs
+
     def isend(self, dest: int, nbytes: int, tag: int = 0,
               payload: Any = None) -> "Request":
         """Nonblocking send; the request completes at network injection
@@ -143,22 +194,91 @@ class RankComm:
             raise RankError(source, self.size)
         fut = Future(self.engine, label=f"rank{self.rank}.recv")
         posted = PostedRecv(source=source, tag=tag, addr=addr, size=size,
-                            future=fut)
-        for i, msg in enumerate(self._unexpected):
-            if posted.matches(msg):
-                self._unexpected.pop(i)
-                self._complete(posted, msg)
-                return fut
-        self._pending.append(posted)
+                            future=fut, seq=self._post_seq)
+        self._post_seq += 1
+        msg = self._take_unexpected(source, tag)
+        if msg is not None:
+            self._complete(posted, msg)
+            return fut
+        dq = self._pending_by_key.get((source, tag))
+        if dq is None:
+            dq = self._pending_by_key[(source, tag)] = deque()
+        dq.append(posted)
         return fut
 
+    def _take_unexpected(self, source: int, tag: int) -> Optional[Message]:
+        """Pop and return the oldest queued message matching
+        ``(source, tag)``, or None."""
+        unexp = self._unexp_by_key
+        if not unexp:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            dq = unexp.get(key)
+            if dq is None:
+                return None
+        else:
+            # wildcard fallback: oldest arrival across compatible classes
+            # (only heads are inspected; classes with no messages were
+            # deleted when they drained)
+            key = None
+            best = -1
+            for k, cand in unexp.items():
+                if ((source == ANY_SOURCE or source == k[0])
+                        and (tag == ANY_TAG or tag == k[1])):
+                    seq = cand[0][0]
+                    if key is None or seq < best:
+                        key, best = k, seq
+            if key is None:
+                return None
+            dq = unexp[key]
+        _, msg = dq.popleft()
+        if not dq:
+            del unexp[key]
+        return msg
+
     def _on_arrival(self, msg: Message) -> None:
-        for i, posted in enumerate(self._pending):
-            if posted.matches(msg):
-                self._pending.pop(i)
-                self._complete(posted, msg)
+        pending = self._pending_by_key
+        if pending:
+            # the four keys a (src, tag) arrival can match; oldest post wins
+            best_key = None
+            best_posted = None
+            for key in ((msg.src, msg.tag), (msg.src, ANY_TAG),
+                        (ANY_SOURCE, msg.tag), (ANY_SOURCE, ANY_TAG)):
+                dq = pending.get(key)
+                if dq and (best_posted is None
+                           or dq[0].seq < best_posted.seq):
+                    best_key, best_posted = key, dq[0]
+            if best_posted is not None:
+                dq = pending[best_key]
+                dq.popleft()
+                if not dq:
+                    del pending[best_key]
+                self._complete(best_posted, msg)
                 return
-        self._unexpected.append(msg)
+        key = (msg.src, msg.tag)
+        dq = self._unexp_by_key.get(key)
+        if dq is None:
+            dq = self._unexp_by_key[key] = deque()
+        dq.append((self._arrival_seq, msg))
+        self._arrival_seq += 1
+
+    # -- introspection (ordered views of the indexed queues) -----------------------
+
+    @property
+    def _pending(self) -> list[PostedRecv]:
+        """Posted receives in post order (a snapshot; tests and debugging
+        read this -- the matcher itself uses the indexed deques)."""
+        out = [p for dq in self._pending_by_key.values() for p in dq]
+        out.sort(key=lambda p: p.seq)
+        return out
+
+    @property
+    def _unexpected(self) -> list[Message]:
+        """Unexpected messages in arrival order (a snapshot)."""
+        out = [e for dq in self._unexp_by_key.values() for e in dq]
+        out.sort(key=lambda e: e[0])
+        return [msg for _, msg in out]
 
     def _complete(self, posted: PostedRecv, msg: Message) -> None:
         if posted.size and msg.size > posted.size:
@@ -227,10 +347,13 @@ class RankComm:
                 break
             mask <<= 1
         mask >>= 1
+        children = []
         while mask > 0:
             if vrank + mask < n and not (vrank & mask):
-                self._send(((vrank + mask) + root) % n, nbytes, tag, value)
+                children.append(((vrank + mask) + root) % n)
             mask >>= 1
+        if children:
+            self._send_many(children, nbytes, tag, value)
         return value
 
     def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,

@@ -19,7 +19,7 @@ bulk-synchronous codes whose communication happens in sparse bursts.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import NetworkError
 from repro.net.message import Message
@@ -49,20 +49,17 @@ class Network:
         # statistics
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        #: cached (obs, counters, tracer-or-None, track names) for sends
+        self._obs_cache = None
 
     def attach(self, node: int, sink: Callable[[Message], None]) -> None:
         """Register the delivery callback (the NIC) for ``node``."""
         self._check_node(node)
         self._sinks[node] = sink
 
-    def send(self, msg: Message) -> float:
-        """Inject ``msg``; returns its arrival time at the destination."""
-        self._check_node(msg.src)
-        self._check_node(msg.dst)
-        # note: a missing sink at the destination is tolerated -- the
-        # message is dropped at delivery time, which is how sends to a
-        # failed node behave under failure injection.
-        now = self.engine.now
+    def _route(self, msg: Message, now: float) -> float:
+        """Advance the link-occupation clocks for ``msg`` and stamp its
+        send/arrival times; returns the arrival time."""
         msg.send_time = now
         if msg.src == msg.dst:
             # loopback: no wire, just a copy at memory speed (the
@@ -81,17 +78,96 @@ class Network:
             arrival = start_rx + serialize
             self._rx_free[msg.dst] = arrival
         msg.arrival_time = arrival
+        return arrival
+
+    def _send_obs(self, obs):
+        """Per-obs cached counters/track names for the send hot path."""
+        cache = self._obs_cache
+        if cache is None or cache[0] is not obs:
+            tracer = obs.tracer
+            cache = self._obs_cache = (
+                obs,
+                obs.metrics.counter("net.messages_sent"),
+                obs.metrics.counter("net.bytes_sent"),
+                tracer if tracer.enabled and tracer.wants("net") else None,
+                [f"net.tx{n}" for n in range(self.nnodes)],
+            )
+        return cache
+
+    def send(self, msg: Message) -> float:
+        """Inject ``msg``; returns its arrival time at the destination."""
+        self._check_node(msg.src)
+        self._check_node(msg.dst)
+        # note: a missing sink at the destination is tolerated -- the
+        # message is dropped at delivery time, which is how sends to a
+        # failed node behave under failure injection.
+        now = self.engine.now
+        arrival = self._route(msg, now)
         obs = self.engine.obs
         if obs.enabled:
-            obs.metrics.counter("net.messages_sent").inc()
-            obs.metrics.counter("net.bytes_sent").inc(msg.size)
-            tracer = obs.tracer
-            if tracer.enabled and tracer.wants("net"):
+            _, ctr_msgs, ctr_bytes, tracer, tx_tracks = self._send_obs(obs)
+            ctr_msgs.inc()
+            ctr_bytes.inc(msg.size)
+            if tracer is not None:
                 tracer.complete("net.send", "net", now, arrival - now,
-                                track=f"net.tx{msg.src}", dst=msg.dst,
+                                track=tx_tracks[msg.src], dst=msg.dst,
                                 size=msg.size, tag=msg.tag)
         self.engine.schedule_at(arrival, self._deliver, msg)
         return arrival
+
+    def send_many(self, msgs: list[Message]) -> list[float]:
+        """Inject a batch (one sender's collective fan-out); returns the
+        arrival times.
+
+        Timing, byte accounting, and obs events are exactly what
+        :meth:`send` called once per message would produce -- the batch
+        shares one pass over the link clocks and one obs lookup, and
+        schedules one delivery event per *distinct arrival time* instead
+        of one per message, so equal-arrival messages (loopback copies,
+        zero-byte control traffic, incast-serialized streams) coalesce.
+        Distinct arrival times keep distinct events: delivery must fire
+        at each message's own timestamp for the simulated timeline to be
+        bit-identical to the unbatched path.
+        """
+        if not msgs:
+            return []
+        now = self.engine.now
+        obs = self.engine.obs
+        if obs.enabled:
+            _, ctr_msgs, ctr_bytes, tracer, tx_tracks = self._send_obs(obs)
+        arrivals: list[float] = []
+        groups: dict[float, Any] = {}
+        for msg in msgs:
+            self._check_node(msg.src)
+            self._check_node(msg.dst)
+            arrival = self._route(msg, now)
+            if obs.enabled:
+                ctr_msgs.inc()
+                ctr_bytes.inc(msg.size)
+                if tracer is not None:
+                    tracer.complete("net.send", "net", now, arrival - now,
+                                    track=tx_tracks[msg.src], dst=msg.dst,
+                                    size=msg.size, tag=msg.tag)
+            arrivals.append(arrival)
+            grp = groups.get(arrival)
+            if grp is None:
+                groups[arrival] = msg
+            elif type(grp) is list:
+                grp.append(msg)
+            else:
+                groups[arrival] = [grp, msg]
+        schedule_at = self.engine.schedule_at
+        # group events are created here, in first-arrival-seen order, so
+        # their insertion sequence is a monotone renumbering of the
+        # per-message events' -- every same-time tie (inside a group, or
+        # against events scheduled before/after this batch) breaks the
+        # same way the unbatched path broke it
+        for arrival, grp in groups.items():
+            if type(grp) is list:
+                schedule_at(arrival, self._deliver_batch, grp)
+            else:
+                schedule_at(arrival, self._deliver, grp)
+        return arrivals
 
     def _deliver(self, msg: Message) -> None:
         sink = self._sinks[msg.dst]
@@ -100,6 +176,13 @@ class Network:
         self.messages_delivered += 1
         self.bytes_delivered += msg.size
         sink(msg)
+
+    def _deliver_batch(self, msgs: list[Message]) -> None:
+        """Deliver same-arrival-time messages in submission order (the
+        order their individual events would have fired in)."""
+        deliver = self._deliver
+        for msg in msgs:
+            deliver(msg)
 
     def detach(self, node: int) -> None:
         """Remove a node's NIC (failure injection): in-flight messages to

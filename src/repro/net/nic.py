@@ -65,7 +65,22 @@ class NIC:
         self.failed = False
         self.messages_dropped = 0
         self._drop_budget = 0
+        #: per-obs cached counters/track/wants for the receive hot path
+        self._track = f"nic{node}"
+        self._obs_cache = None
         network.attach(node, self._receive)
+
+    def _recv_obs(self, obs):
+        cache = self._obs_cache
+        if cache is None or cache[0] is not obs:
+            tracer = obs.tracer
+            cache = self._obs_cache = (
+                obs,
+                obs.metrics.counter("net.messages_received"),
+                obs.metrics.counter("net.bytes_received"),
+                tracer if tracer.enabled and tracer.wants("net") else None,
+            )
+        return cache
 
     def _receive(self, msg: Message) -> None:
         obs = self.engine.obs
@@ -79,12 +94,12 @@ class NIC:
         self.bytes_received += msg.size
         self.messages_received += 1
         if obs.enabled:
-            obs.metrics.counter("net.messages_received").inc()
-            obs.metrics.counter("net.bytes_received").inc(msg.size)
-            tracer = obs.tracer
-            if tracer.enabled and tracer.wants("net"):
+            _, ctr_msgs, ctr_bytes, tracer = self._recv_obs(obs)
+            ctr_msgs.inc()
+            ctr_bytes.inc(msg.size)
+            if tracer is not None:
                 tracer.instant("nic.recv", "net", self.engine.now,
-                               track=f"nic{self.node}", src=msg.src,
+                               track=self._track, src=msg.src,
                                size=msg.size, tag=msg.tag)
         if self.on_message is not None:
             self.on_message(msg)
@@ -120,7 +135,7 @@ class NIC:
             lo, hi = seg.page_range(addr, size)
         except Exception:
             return False
-        return bool(seg.pages.protected[lo:hi].any())
+        return seg.pages.any_protected(lo, hi)
 
     def detach(self) -> None:
         """Take this NIC off the network (node failure)."""

@@ -285,3 +285,77 @@ def test_property_fault_count_equals_newly_unprotected(npages, data):
         assert faults == before - after
         total_faults += faults
     assert total_faults == pt.dirty_count()
+
+
+# -- incremental dirty accounting ------------------------------------------------
+
+def test_dirty_count_exact_when_protecting_over_dirty_pages():
+    """Re-arming protection without a reset (protect-over-dirty) must not
+    double-count already-dirty pages on the next faulting write."""
+    pt = PageTable(8)
+    pt.protect_all()
+    pt.cpu_write(0, 4, version=1)          # pages 0-3 dirty
+    assert pt.dirty_count() == 4
+    pt.protect_all()                       # dirty set NOT reset
+    pt.cpu_write(2, 6, version=2)          # 2,3 already dirty; 4,5 new
+    assert pt.dirty_count() == 6
+    assert list(pt.dirty_indices()) == [0, 1, 2, 3, 4, 5]
+
+
+def test_dirty_count_recounted_on_shrink_and_split():
+    pt = PageTable(8)
+    pt.protect_all()
+    pt.cpu_write(0, 8, version=1)
+    assert pt.dirty_count() == 8
+    pt.resize(5)
+    assert pt.dirty_count() == 5
+    tail = pt.split(2)
+    assert pt.dirty_count() == 2
+    assert tail.dirty_count() == 3
+
+
+def test_dirty_count_zero_after_reset_then_matches_scan():
+    pt = PageTable(16)
+    pt.protect_all()
+    pt.cpu_write(3, 9, version=1)
+    pt.reset_dirty()
+    assert pt.dirty_count() == 0
+    pt.protect_all()
+    pt.cpu_write(1, 2, version=2)
+    assert pt.dirty_count() == int(np.count_nonzero(pt.dirty)) == 1
+
+
+def test_any_protected_ranges():
+    pt = PageTable(8)
+    assert not pt.any_protected(0, 8)
+    pt.protect_all()
+    assert pt.any_protected(0, 8)
+    assert not pt.any_protected(4, 4)      # empty range
+    pt.cpu_write(0, 8, version=1)          # strips all protection
+    assert not pt.any_protected(0, 8)
+    pt.protect_range(2, 3)
+    assert pt.any_protected(0, 4)
+    assert not pt.any_protected(3, 8)
+
+
+@given(write_sequences())
+@settings(max_examples=200)
+def test_property_dirty_count_matches_array_scan(seq):
+    """The O(1) incremental dirty counter always equals a full scan,
+    through any interleaving of writes, protects, resets, and DMA."""
+    npages, ops = seq
+    pt = PageTable(npages)
+    pt.protect_all()
+    version = 0
+    for kind, lo, hi in ops:
+        version += 1
+        if kind == "cpu":
+            pt.cpu_write(lo, hi, version)
+        elif kind == "dma":
+            pt.dma_write(lo, hi, version)
+        elif kind == "protect":
+            pt.protect_range(lo, hi)
+        else:
+            pt.reset_dirty()
+            pt.protect_all()
+        assert pt.dirty_count() == int(np.count_nonzero(pt.dirty))

@@ -1,0 +1,193 @@
+"""MPI matching-order semantics, pinned down before (and after) the
+indexed-matcher rewrite.
+
+These tests nail the ordering rules the matcher must preserve exactly:
+
+- a posted receive matches the *oldest compatible* unexpected message
+  (arrival order within the match class, global arrival order for
+  wildcards);
+- an arrival matches the *oldest compatible* posted receive (post
+  order), regardless of how selective each posted receive is;
+- the unexpected queue is FIFO per (source, tag) class and in global
+  arrival order across classes;
+- the ``_pending`` / ``_unexpected`` introspection views report post
+  order and arrival order respectively.
+
+They drive the matcher directly (``_on_arrival`` + ``recv``), the same
+way the property test does, so ordering is controlled to the byte.
+"""
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIJob
+from repro.net import Message
+from repro.sim import Engine
+
+
+def make_comm(nranks=4):
+    eng = Engine()
+    job = MPIJob(eng, nranks)
+    return job.world.comm(nranks - 1)
+
+
+def arrive(comm, src, tag):
+    msg = Message(src=src, dst=comm.rank, size=8, tag=tag)
+    comm._on_arrival(msg)
+    return msg
+
+
+def post(comm, source, tag, sink):
+    """Post a receive; append the matched Message to ``sink`` on resolve."""
+    fut = comm.recv(source=source, tag=tag)
+    fut.add_callback(sink.append)
+    return fut
+
+
+# -- wildcard receives against the unexpected queue ---------------------------
+
+
+def test_any_source_matches_in_arrival_order():
+    comm = make_comm()
+    mids = [arrive(comm, src, tag=7).mid for src in (2, 0, 1)]
+    got = []
+    for _ in range(3):
+        post(comm, ANY_SOURCE, 7, got)
+    assert [m.mid for m in got] == mids
+
+
+def test_any_tag_matches_in_arrival_order():
+    comm = make_comm()
+    mids = [arrive(comm, 0, tag=t).mid for t in (3, 1, 2)]
+    got = []
+    for _ in range(3):
+        post(comm, 0, ANY_TAG, got)
+    assert [m.mid for m in got] == mids
+
+
+def test_any_any_matches_global_arrival_order():
+    comm = make_comm()
+    arrivals = [(2, 5), (0, 1), (1, 5), (0, 2), (2, 1)]
+    mids = [arrive(comm, s, t).mid for s, t in arrivals]
+    got = []
+    for _ in range(len(arrivals)):
+        post(comm, ANY_SOURCE, ANY_TAG, got)
+    assert [m.mid for m in got] == mids
+
+
+def test_wildcard_skips_incompatible_older_arrivals():
+    comm = make_comm()
+    first = arrive(comm, 0, tag=1)
+    second = arrive(comm, 1, tag=2)
+    third = arrive(comm, 0, tag=2)
+    got = []
+    post(comm, ANY_SOURCE, 2, got)       # oldest with tag 2 is `second`
+    post(comm, 0, ANY_TAG, got)          # oldest from 0 is `first`
+    post(comm, ANY_SOURCE, ANY_TAG, got)
+    assert [m.mid for m in got] == [second.mid, first.mid, third.mid]
+
+
+# -- unexpected-queue FIFO ----------------------------------------------------
+
+
+def test_unexpected_queue_fifo_within_class():
+    comm = make_comm()
+    mids = [arrive(comm, 1, tag=0).mid for _ in range(5)]
+    got = []
+    for _ in range(5):
+        post(comm, 1, 0, got)
+    assert [m.mid for m in got] == mids
+
+
+def test_unexpected_fifo_survives_interleaved_classes():
+    comm = make_comm()
+    a1 = arrive(comm, 0, tag=1)
+    b1 = arrive(comm, 1, tag=1)
+    a2 = arrive(comm, 0, tag=1)
+    b2 = arrive(comm, 1, tag=1)
+    got = []
+    post(comm, 1, 1, got)
+    post(comm, 0, 1, got)
+    post(comm, 1, 1, got)
+    post(comm, 0, 1, got)
+    assert [m.mid for m in got] == [b1.mid, a1.mid, b2.mid, a2.mid]
+
+
+def test_specific_recv_leaves_other_classes_queued():
+    comm = make_comm()
+    other = arrive(comm, 0, tag=9)
+    wanted = arrive(comm, 2, tag=4)
+    got = []
+    post(comm, 2, 4, got)
+    assert [m.mid for m in got] == [wanted.mid]
+    assert [m.mid for m in comm._unexpected] == [other.mid]
+
+
+# -- arrivals against mixed wildcard/specific posted receives -----------------
+
+
+def test_arrival_matches_oldest_posted_not_most_specific():
+    comm = make_comm()
+    got = []
+    wild = post(comm, ANY_SOURCE, ANY_TAG, got)
+    spec = post(comm, 0, 1, got)
+    msg = arrive(comm, 0, tag=1)
+    assert wild.resolved and not spec.resolved
+    assert [m.mid for m in got] == [msg.mid]
+
+
+def test_arrival_matches_specific_posted_first_when_older():
+    comm = make_comm()
+    got = []
+    spec = post(comm, 0, 1, got)
+    wild = post(comm, ANY_SOURCE, ANY_TAG, got)
+    first = arrive(comm, 0, tag=1)
+    second = arrive(comm, 2, tag=3)
+    assert spec.resolved and wild.resolved
+    assert [m.mid for m in got] == [first.mid, second.mid]
+
+
+def test_arrival_skips_incompatible_older_posts():
+    comm = make_comm()
+    got = []
+    narrow = post(comm, 1, 2, got)
+    wide = post(comm, ANY_SOURCE, ANY_TAG, got)
+    msg = arrive(comm, 0, tag=0)          # only the wildcard matches
+    assert wide.resolved and not narrow.resolved
+    assert [m.mid for m in got] == [msg.mid]
+    later = arrive(comm, 1, tag=2)
+    assert narrow.resolved
+    assert [m.mid for m in got] == [msg.mid, later.mid]
+
+
+def test_mixed_wildcard_specific_posts_drain_in_post_order():
+    comm = make_comm()
+    got = []
+    post(comm, ANY_SOURCE, 5, got)        # p0
+    post(comm, 1, 5, got)                 # p1
+    post(comm, 1, ANY_TAG, got)           # p2
+    m0 = arrive(comm, 1, tag=5)           # oldest compatible post: p0
+    m1 = arrive(comm, 1, tag=5)           # then p1
+    m2 = arrive(comm, 1, tag=9)           # only p2 takes tag 9
+    assert [m.mid for m in got] == [m0.mid, m1.mid, m2.mid]
+
+
+# -- introspection views ------------------------------------------------------
+
+
+def test_pending_view_reports_post_order():
+    comm = make_comm()
+    got = []
+    post(comm, 2, 1, got)
+    post(comm, ANY_SOURCE, ANY_TAG, got)
+    post(comm, 2, 1, got)
+    post(comm, 0, ANY_TAG, got)
+    assert [(p.source, p.tag) for p in comm._pending] == [
+        (2, 1), (ANY_SOURCE, ANY_TAG), (2, 1), (0, ANY_TAG)]
+
+
+def test_unexpected_view_reports_arrival_order():
+    comm = make_comm()
+    mids = [arrive(comm, s, t).mid
+            for s, t in [(0, 1), (2, 0), (0, 1), (1, 3)]]
+    assert [m.mid for m in comm._unexpected] == mids
+    got = []
+    post(comm, 0, 1, got)                 # drain the oldest (0, 1)
+    assert [m.mid for m in comm._unexpected] == mids[1:]

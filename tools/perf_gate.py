@@ -1,0 +1,103 @@
+"""CI perf regression gate over ``bench_sweep.py`` output.
+
+Compares a freshly produced benchmark record against a committed
+reference (same mode -- quick vs quick, full vs full) and fails when
+any gated metric regressed by more than the tolerance:
+
+- **engine** event-throughput rates (lower is a regression);
+- **sweep** cold-serial / cold-parallel / warm-cache times (higher is
+  a regression), plus the hard requirement that
+  ``bit_identical_across_modes`` is still true;
+- **fig5** 64-rank row time (higher is a regression).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py --quick --out /tmp/bench.json
+    python tools/perf_gate.py /tmp/bench.json \
+        --reference benchmarks/perf/BENCH_quick_reference.json [--tolerance 0.30]
+
+Benchmarks are noisy across machines; the default 30% tolerance is
+meant to catch real hot-path regressions (which are usually 2x+), not
+scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (section, key) -> True when higher values are better
+GATED_METRICS = {
+    ("engine", "run_events_per_s"): True,
+    ("engine", "schedule_events_per_s"): True,
+    ("engine", "churn_events_per_s"): True,
+    ("sweep", "serial_cold_s"): False,
+    ("sweep", "parallel_cold_s"): False,
+    ("sweep", "warm_cache_s"): False,
+    ("fig5", "row_s"): False,
+}
+
+
+def check(current: dict, reference: dict, tolerance: float) -> list[str]:
+    """All gate violations (empty means pass)."""
+    failures = []
+    if current.get("quick") != reference.get("quick"):
+        failures.append(
+            f"mode mismatch: current quick={current.get('quick')} vs "
+            f"reference quick={reference.get('quick')} -- not comparable")
+        return failures
+    if not current.get("sweep", {}).get("bit_identical_across_modes", False):
+        failures.append("sweep.bit_identical_across_modes is not true")
+    for (section, key), higher_is_better in GATED_METRICS.items():
+        ref = reference.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if ref is None:
+            continue                 # older reference without this metric
+        if cur is None:
+            failures.append(f"{section}.{key}: missing from current record")
+            continue
+        if higher_is_better:
+            limit = ref * (1.0 - tolerance)
+            ok = cur >= limit
+            direction = "below"
+        else:
+            limit = ref * (1.0 + tolerance)
+            ok = cur <= limit
+            direction = "above"
+        change = (cur / ref - 1.0) * 100 if ref else 0.0
+        status = "ok" if ok else "FAIL"
+        print(f"  {status:4s} {section}.{key}: {cur} vs ref {ref} "
+              f"({change:+.1f}%)")
+        if not ok:
+            failures.append(
+                f"{section}.{key} regressed: {cur} is {direction} the "
+                f"{tolerance:.0%} tolerance limit {limit:.6g} (ref {ref})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench_sweep.py JSON record")
+    parser.add_argument("--reference", required=True,
+                        help="committed reference JSON (same mode)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    reference = json.loads(Path(args.reference).read_text())
+    print(f"perf gate: {args.current} vs {args.reference} "
+          f"(tolerance {args.tolerance:.0%})")
+    failures = check(current, reference, args.tolerance)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
