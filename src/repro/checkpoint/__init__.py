@@ -30,6 +30,16 @@ from repro.checkpoint.recovery import (
     restore_address_space,
 )
 from repro.checkpoint.coordinated import CheckpointEngine, GlobalCheckpoint
+from repro.checkpoint.transport import (
+    CheckpointTransport,
+    DisklessTransport,
+    DrainQueue,
+    EstimateTransport,
+    NetworkTransport,
+    TransportSpec,
+    TransportStats,
+    make_transport,
+)
 from repro.checkpoint.planner import CheckpointPlanner, cow_cost
 from repro.checkpoint.restart import RestartCoordinator, make_resume_body
 from repro.checkpoint.uncoordinated import (
@@ -44,9 +54,16 @@ __all__ = [
     "Checkpoint",
     "CheckpointEngine",
     "CheckpointPlanner",
+    "CheckpointTransport",
+    "DisklessTransport",
+    "DrainQueue",
+    "EstimateTransport",
     "FullCheckpointer",
     "GlobalCheckpoint",
     "IncrementalCheckpointer",
+    "NetworkTransport",
+    "TransportSpec",
+    "TransportStats",
     "LoggedMessage",
     "MessageLogger",
     "PagePayload",
@@ -58,6 +75,7 @@ __all__ = [
     "cow_cost",
     "lost_work",
     "make_resume_body",
+    "make_transport",
     "recovery_line",
     "restore_address_space",
 ]

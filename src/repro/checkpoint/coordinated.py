@@ -21,17 +21,20 @@ The engine rides the instrumentation seams:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.checkpoint.cow import CowWriteout
 from repro.checkpoint.full import FullCheckpointer
 from repro.checkpoint.incremental import IncrementalCheckpointer
+from repro.checkpoint.transport import (CheckpointTransport, TransportSpec,
+                                        make_transport, normalize_spec)
 from repro.errors import CheckpointError
 from repro.instrument import InstrumentationLibrary
 from repro.instrument.records import TimesliceRecord
 from repro.instrument.tracker import DirtyPageTracker
 from repro.mpi import MPIJob, RankContext
-from repro.storage import CheckpointStore, Disk, SCSI_ULTRA320
+from repro.storage import CheckpointStore, Disk, DisklessSink, SCSI_ULTRA320
+from repro.units import GiB
 
 
 @dataclass
@@ -67,7 +70,8 @@ class CheckpointEngine:
                  storage_factory: Optional[Callable[[int], Disk]] = None,
                  keep_payloads: bool = True,
                  cow: bool = False,
-                 gc: bool = False):
+                 gc: bool = False,
+                 transport: Union[None, str, TransportSpec] = None):
         if interval_slices < 1:
             raise CheckpointError(
                 f"interval_slices must be >= 1, got {interval_slices}")
@@ -79,10 +83,24 @@ class CheckpointEngine:
         self.interval_slices = interval_slices
         self.full_every = full_every
         self.keep_payloads = keep_payloads
+        tspec = normalize_spec(transport)
         if storage_factory is None:
-            storage_factory = lambda rank: Disk(
-                job.engine, SCSI_ULTRA320, name=f"ckpt-disk.r{rank}")
+            if tspec.mode == "diskless":
+                storage_factory = lambda rank: DisklessSink(
+                    job.engine, capacity=4 * GiB,
+                    name=f"ckpt-buddy.r{rank}")
+            else:
+                storage_factory = lambda rank: Disk(
+                    job.engine, SCSI_ULTRA320, name=f"ckpt-disk.r{rank}")
         self._disks = {r: storage_factory(r) for r in range(job.nranks)}
+        #: the data path from capture to durability (estimate mode is
+        #: the seed behaviour bit for bit)
+        self.transport: CheckpointTransport = make_transport(
+            tspec, engine=job.engine, network=job.network,
+            sinks=self._disks, nranks=job.nranks,
+            buddies={r: self._buddy_rank(r) for r in range(job.nranks)})
+        #: seconds of backpressure stall charged into later timeslices
+        self.stall_time = 0.0
         self._incremental: dict[int, IncrementalCheckpointer] = {}
         self._full = FullCheckpointer()
         self._captures: dict[int, int] = {}
@@ -107,6 +125,14 @@ class CheckpointEngine:
         self._obs_cache = None
         # run after the library's own init hook, so the tracker exists
         job.init_hooks.append(self._on_rank_start)
+
+    def _buddy_rank(self, rank: int) -> int:
+        """Diskless buddy: the same slot on the next node, so a node
+        loss never takes a checkpoint down with its owner."""
+        if self.job.nranks == 1:
+            return 0
+        buddy = (rank + self.job.procs_per_node) % self.job.nranks
+        return buddy if buddy != rank else (rank + 1) % self.job.nranks
 
     # -- wiring ------------------------------------------------------------------------
 
@@ -160,9 +186,19 @@ class CheckpointEngine:
                 tracer.instant("capture", "checkpoint", now,
                                track=self._tracks[rank], seq=seq,
                                kind=ckpt.kind, bytes=ckpt.nbytes)
-        self._write_out(rank, ckpt)
+        stall = self._write_out(rank, ckpt)
+        if stall > 0.0:
+            # backpressure: this slice's IWS outran the drain bandwidth.
+            # Charge the stall *after* the alarm handler completes, so it
+            # lands in the next timeslice's overhead window -- the next
+            # reprotect charge is effectively delayed until the queue
+            # has had time to catch up.
+            self.stall_time += stall
+            self.job.engine.schedule_at(now, tracker.charge, stall)
 
-    def _write_out(self, rank: int, ckpt) -> None:
+    def _write_out(self, rank: int, ckpt) -> float:
+        """Store the piece and hand it to the transport; returns the
+        backpressure stall (seconds; 0.0 when the queue is keeping up)."""
         now = self.job.engine.now
         gc = self.globals.get(ckpt.seq)
         if gc is None:
@@ -179,9 +215,11 @@ class CheckpointEngine:
             duration = self._estimate_write_duration(disk, ckpt.nbytes)
             writeout = CowWriteout(self.job.processes[rank], ckpt, duration)
             self._writeouts.append(writeout)
-        fut = self._disks[rank].write(ckpt.nbytes)
-        fut.add_callback(lambda done_at, r=rank, s=ckpt.seq:
-                         self._on_durable(r, s, done_at))
+        stall = self.transport.submit(rank, ckpt.seq, ckpt.nbytes,
+                                      self._on_durable)
+        if rank == 0 and self.transport.spec.measured:
+            self.transport.sample(ckpt.seq)
+        return stall
 
     @staticmethod
     def _estimate_write_duration(sink, nbytes: int) -> float:
@@ -284,6 +322,11 @@ class CheckpointEngine:
         """(total copy-on-write page copies, total copy time charged)."""
         return (sum(w.cow_copies for w in self._writeouts),
                 sum(w.cow_time for w in self._writeouts))
+
+    def transport_stats(self):
+        """Picklable :class:`~repro.checkpoint.transport.TransportStats`
+        snapshot (queue ledger, achieved bandwidth, contention)."""
+        return self.transport.snapshot()
 
     def disk(self, rank: int) -> Disk:
         """The storage sink serving one rank."""

@@ -125,6 +125,21 @@ def _parser() -> argparse.ArgumentParser:
                      help="simulated seconds after initialization")
     run.add_argument("--save-trace", metavar="DIR", default=None,
                      help="write per-rank traces (npz+json) to DIR")
+    run.add_argument("--ckpt-transport",
+                     choices=("estimate", "network", "diskless"),
+                     default=None,
+                     help="checkpoint while running, with this data "
+                          "path: 'estimate' (flat-duration sink writes), "
+                          "'network' (frames through the shared fabric "
+                          "to a storage port), or 'diskless' (frames to "
+                          "a buddy rank's memory); default: no "
+                          "checkpointing")
+    run.add_argument("--ckpt-interval", type=_positive_int, default=2,
+                     help="checkpoint every N timeslices (with "
+                          "--ckpt-transport)")
+    run.add_argument("--ckpt-full-every", type=_positive_int, default=4,
+                     help="full checkpoint every N captures (with "
+                          "--ckpt-transport)")
     _add_obs_flags(run)
 
     sweep = sub.add_parser("sweep", help="IB vs timeslice for one app")
@@ -199,6 +214,11 @@ def _parser() -> argparse.ArgumentParser:
                       help="cap the stochastic plan's event count")
     frun.add_argument("--no-verify", action="store_true",
                       help="skip the bit-identical restore verification")
+    frun.add_argument("--ckpt-transport",
+                      choices=("estimate", "network", "diskless"),
+                      default="estimate",
+                      help="checkpoint data path (default: estimate, "
+                           "the flat-duration sink writes)")
     _add_obs_flags(frun)
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -238,7 +258,10 @@ def cmd_run(args, out) -> int:
     """``run``: one instrumented experiment, stats to stdout."""
     config = paper_config(args.app, nranks=args.ranks,
                           timeslice=args.timeslice,
-                          run_duration=args.duration)
+                          run_duration=args.duration,
+                          ckpt_transport=args.ckpt_transport,
+                          ckpt_interval_slices=args.ckpt_interval,
+                          ckpt_full_every=args.ckpt_full_every)
     obs = _make_obs(args)
     result = run_experiment(config, obs=obs)
     _finish_obs(obs, args, out)
@@ -248,6 +271,15 @@ def cmd_run(args, out) -> int:
     print(f"IB:        {result.ib().as_row()}", file=out)
     print(f"period:    {result.measured_period():.2f} s measured "
           f"({config.spec.iteration_period:.2f} s configured)", file=out)
+    stats = result.transport_stats
+    if stats is not None:
+        from repro.units import fmt_bytes
+        print(f"checkpoint: {result.ckpt_commits} commit(s), "
+              f"{fmt_bytes(stats.bytes_drained)} drained via "
+              f"{stats.mode} transport, {stats.stalls} stall(s)", file=out)
+        measured = result.measured_feasibility()
+        if measured is not None:
+            print(f"measured:  {measured.as_row()}", file=out)
     if args.save_trace:
         from repro.trace import save_traces
         paths = save_traces(result.logs, args.save_trace)
@@ -343,6 +375,7 @@ def cmd_faults_run(args, out) -> int:
                                full_every=args.full_every,
                                detection_latency=args.detect_latency,
                                verify=not args.no_verify,
+                               ckpt_transport=args.ckpt_transport,
                                obs=obs)
     _finish_obs(obs, args, out)
     metrics = result.metrics

@@ -43,12 +43,28 @@ class ExperimentConfig:
     fault_cost: float = 15e-6
     reprotect_cost_per_page: float = 0.2e-6
     cluster: ClusterSpec = PAPER_CLUSTER
+    #: checkpoint data path: None (no checkpoint engine, the seed
+    #: behaviour), "estimate", "network", or "diskless"
+    ckpt_transport: Optional[str] = None
+    ckpt_interval_slices: int = 2
+    ckpt_full_every: int = 4
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
             raise ConfigurationError("need at least one rank")
         if self.timeslice <= 0:
             raise ConfigurationError("timeslice must be positive")
+        if self.ckpt_transport is not None:
+            from repro.checkpoint.transport import TRANSPORT_MODES
+            if self.ckpt_transport not in TRANSPORT_MODES:
+                raise ConfigurationError(
+                    f"unknown checkpoint transport "
+                    f"{self.ckpt_transport!r}; expected one of "
+                    f"{TRANSPORT_MODES}")
+        if self.ckpt_interval_slices < 1:
+            raise ConfigurationError("ckpt_interval_slices must be >= 1")
+        if self.ckpt_full_every < 1:
+            raise ConfigurationError("ckpt_full_every must be >= 1")
 
     def scaled(self, **changes) -> "ExperimentConfig":
         """A copy with some fields replaced (parameter sweeps)."""
@@ -71,6 +87,12 @@ class ExperimentResult:
     app: Optional[ScientificApplication] = field(repr=False, default=None)
     library: Optional[InstrumentationLibrary] = field(repr=False, default=None)
     job: Optional[MPIJob] = field(repr=False, default=None)
+    #: checkpoint-transport accounting when ``config.ckpt_transport``
+    #: was set (a picklable TransportStats snapshot); None otherwise
+    transport_stats: Optional[object] = None
+    ckpt_commits: int = 0
+    #: the live checkpoint engine (dropped by :meth:`detached`)
+    ckpt: Optional[object] = field(repr=False, default=None)
 
     # -- derived statistics (rank 0 unless stated; bulk synchrony makes
     # -- one process representative, section 6.1) -------------------------------
@@ -123,7 +145,22 @@ class ExperimentResult:
             iterations=self.iterations,
             iteration_starts=list(self.iteration_starts),
             final_time=self.final_time,
+            transport_stats=self.transport_stats,
+            ckpt_commits=self.ckpt_commits,
         )
+
+    def measured_feasibility(self, envelope=None):
+        """The *measured* feasibility verdict for this run, or None when
+        the run had no measuring checkpoint transport (see
+        :meth:`repro.feasibility.FeasibilityAnalyzer.assess_measured`)."""
+        stats = self.transport_stats
+        if stats is None or not stats.measured:
+            return None
+        from repro.feasibility import FeasibilityAnalyzer
+        analyzer = (FeasibilityAnalyzer(envelope) if envelope is not None
+                    else FeasibilityAnalyzer())
+        return analyzer.assess_measured(self.config.spec.name, stats,
+                                        self.config.timeslice)
 
 
 def run_experiment(config: ExperimentConfig,
@@ -159,6 +196,15 @@ def run_experiment(config: ExperimentConfig,
     if not config.intercept_receives:
         for nic in job.nics:
             nic.strict_dma = False
+    ckpt = None
+    if config.ckpt_transport is not None:
+        from repro.checkpoint import CheckpointEngine
+        ckpt = CheckpointEngine(job, library,
+                                interval_slices=config.ckpt_interval_slices,
+                                full_every=config.ckpt_full_every,
+                                keep_payloads=False,
+                                gc=(config.ckpt_transport == "diskless"),
+                                transport=config.ckpt_transport)
     procs = job.launch(app.make_body())
     engine.run(detect_deadlock=True)
     for p in procs:
@@ -178,6 +224,9 @@ def run_experiment(config: ExperimentConfig,
         app=app,
         library=library,
         job=job,
+        transport_stats=(None if ckpt is None else ckpt.transport_stats()),
+        ckpt_commits=(0 if ckpt is None else len(ckpt.committed())),
+        ckpt=ckpt,
     )
 
 

@@ -17,6 +17,7 @@ simulation objects (app, library, job) are not.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import shutil
@@ -87,6 +88,10 @@ class ResultCache:
                 raise ConfigurationError("cache format mismatch")
             logs = {int(r): load_trace(entry / f"rank{int(r):04d}")
                     for r in meta["ranks"]}
+            tstats = meta.get("transport_stats")
+            if tstats is not None:
+                from repro.checkpoint.transport import TransportStats
+                tstats = TransportStats(**tstats)
             result = ExperimentResult(
                 config=config,
                 logs=logs,
@@ -94,6 +99,8 @@ class ResultCache:
                 iterations=int(meta["iterations"]),
                 iteration_starts=[float(t) for t in meta["iteration_starts"]],
                 final_time=float(meta["final_time"]),
+                transport_stats=tstats,
+                ckpt_commits=int(meta.get("ckpt_commits", 0)),
             )
         except Exception:
             shutil.rmtree(entry, ignore_errors=True)
@@ -127,6 +134,10 @@ class ResultCache:
                 "iterations": result.iterations,
                 "iteration_starts": list(result.iteration_starts),
                 "final_time": result.final_time,
+                "transport_stats": (
+                    None if result.transport_stats is None
+                    else dataclasses.asdict(result.transport_stats)),
+                "ckpt_commits": result.ckpt_commits,
             }
             (tmp / _META_NAME).write_text(json.dumps(meta, indent=2))
             try:

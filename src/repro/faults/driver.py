@@ -71,6 +71,8 @@ class LifeResult:
     #: absolute useful progress already banked when this life started
     progress_before: float = 0.0
     write_failures: list[tuple[int, int]] = field(default_factory=list)
+    #: checkpoint-transport snapshot of this life (TransportStats)
+    transport_stats: Optional[object] = None
 
 
 @dataclass
@@ -114,6 +116,7 @@ class FailureRecoveryDriver:
                  read_bandwidth: Optional[float] = None,
                  verify: bool = True,
                  max_failures: int = 1000,
+                 ckpt_transport: str = "estimate",
                  obs=None):
         from repro.obs import NULL_OBS
         plan.validate_for(config.nranks)
@@ -129,6 +132,9 @@ class FailureRecoveryDriver:
         self.read_bandwidth = read_bandwidth
         self.verify = verify
         self.max_failures = max_failures
+        #: checkpoint data path per life ("estimate" reproduces the
+        #: seed's flat-duration writes bit for bit)
+        self.ckpt_transport = ckpt_transport
         #: observability sink threaded into every life's engine
         self.obs = NULL_OBS if obs is None else obs
         # the same duration resolution as run_experiment, so an empty
@@ -197,7 +203,8 @@ class FailureRecoveryDriver:
                 nic.strict_dma = False
         ckpt = CheckpointEngine(job, library,
                                 interval_slices=self.interval_slices,
-                                full_every=self.full_every)
+                                full_every=self.full_every,
+                                transport=self.ckpt_transport)
 
         life = LifeResult(index=index, t_start=t_start, t_end=t_start,
                           logs={}, store=ckpt.store, committed=[],
@@ -247,6 +254,7 @@ class FailureRecoveryDriver:
         life.logs = library.all_records()
         life.committed = ckpt.committed()
         life.write_failures = list(ckpt.write_failures)
+        life.transport_stats = ckpt.transport_stats()
         life.iterations = (app.contexts[0].iterations
                            if app.contexts else 0)
         if self.obs.enabled:
@@ -417,6 +425,7 @@ def run_with_failures(config: ExperimentConfig,
                       read_bandwidth: Optional[float] = None,
                       verify: bool = True,
                       max_failures: int = 1000,
+                      ckpt_transport: str = "estimate",
                       obs=None) -> FaultRunResult:
     """Run one experiment under a fault plan; see
     :class:`FailureRecoveryDriver`.
@@ -430,4 +439,5 @@ def run_with_failures(config: ExperimentConfig,
         config, plan, interval_slices=interval_slices,
         full_every=full_every, detection_latency=detection_latency,
         read_bandwidth=read_bandwidth, verify=verify,
-        max_failures=max_failures, obs=obs).run()
+        max_failures=max_failures, ckpt_transport=ckpt_transport,
+        obs=obs).run()

@@ -12,7 +12,8 @@ levels (:mod:`~repro.feasibility.taxonomy`).
 """
 
 from repro.feasibility.technology import TechnologyEnvelope, TrendModel
-from repro.feasibility.analyzer import FeasibilityAnalyzer, FeasibilityVerdict
+from repro.feasibility.analyzer import (FeasibilityAnalyzer,
+                                        FeasibilityVerdict, MeasuredVerdict)
 from repro.feasibility.taxonomy import ABSTRACTION_LEVELS, AbstractionLevel
 from repro.feasibility.availability import (
     CheckpointCostModel,
@@ -33,6 +34,7 @@ __all__ = [
     "FailureModel",
     "FeasibilityAnalyzer",
     "FeasibilityVerdict",
+    "MeasuredVerdict",
     "TechnologyEnvelope",
     "TrendModel",
     "efficiency",

@@ -59,6 +59,59 @@ class FeasibilityVerdict:
                 f"{'FEASIBLE' if self.feasible else 'INFEASIBLE'}")
 
 
+@dataclass(frozen=True)
+class MeasuredVerdict:
+    """What the checkpoint transport actually achieved, under contention.
+
+    The analytic :class:`FeasibilityVerdict` compares IB demand against
+    peak bandwidths; this one reads a
+    :class:`~repro.checkpoint.transport.TransportStats` snapshot from a
+    run whose checkpoints were real scheduled traffic: the drain
+    bandwidth the pipeline achieved, whether the drain queues kept up
+    (no backpressure stalls), and how much the checkpoint frames slowed
+    application messages per timeslice.
+    """
+
+    app_name: str
+    timeslice: float
+    mode: str                    #: transport mode ("network"/"diskless")
+    achieved_bandwidth: float    #: B/s over the per-rank busy union
+    bytes_drained: int
+    envelope: TechnologyEnvelope
+    stall_time: float            #: backpressure seconds charged to the app
+    stalls: int
+    peak_queue_bytes: int
+    contention_delay: float      #: app-message delay behind ckpt frames
+    contended_messages: int
+    #: checkpoint-induced app-message delay per sampled timeslice
+    per_slice_contention: tuple = ()
+
+    @property
+    def fraction_of_sustainable(self) -> float:
+        return (self.achieved_bandwidth
+                / self.envelope.sustainable_bandwidth)
+
+    @property
+    def keeping_up(self) -> bool:
+        """The drain never forced a backpressure stall: the demand fits
+        the transport as *built*, not just as modelled."""
+        return self.stalls == 0
+
+    @property
+    def mean_slice_contention(self) -> float:
+        if not self.per_slice_contention:
+            return 0.0
+        return sum(self.per_slice_contention) / len(self.per_slice_contention)
+
+    def as_row(self) -> str:
+        """One printable measured-verdict row."""
+        return (f"{self.app_name:14s} drain={self.achieved_bandwidth / MiB:7.1f} MB/s "
+                f"({self.fraction_of_sustainable:5.1%} of sustainable) "
+                f"stalls={self.stalls:3d} "
+                f"contention={self.contention_delay * 1e3:8.3f} ms "
+                f"{'KEEPING UP' if self.keeping_up else 'BACKPRESSURED'}")
+
+
 class FeasibilityAnalyzer:
     """Turns IB measurements into feasibility verdicts."""
 
@@ -86,6 +139,39 @@ class FeasibilityAnalyzer:
                                   avg_demand=avg_bps, max_demand=max_bps,
                                   envelope=self.envelope,
                                   headroom_required=self.headroom_required)
+
+    def assess_measured(self, app_name: str, stats,
+                        timeslice: float = 1.0) -> MeasuredVerdict:
+        """Measured verdict from a transport snapshot
+        (:class:`~repro.checkpoint.transport.TransportStats`)."""
+        if not stats.measured:
+            raise ConfigurationError(
+                f"transport mode {stats.mode!r} produces no measured "
+                "traffic; run with the network or diskless transport")
+        return MeasuredVerdict(
+            app_name=app_name,
+            timeslice=timeslice,
+            mode=stats.mode,
+            achieved_bandwidth=stats.achieved_bandwidth,
+            bytes_drained=stats.bytes_drained,
+            envelope=self.envelope,
+            stall_time=stats.stall_time,
+            stalls=stats.stalls,
+            peak_queue_bytes=stats.peak_queue_bytes,
+            contention_delay=stats.contention_delay,
+            contended_messages=stats.contended_messages,
+            per_slice_contention=tuple(stats.per_slice_contention()))
+
+    def report_measured(self, verdicts: list[MeasuredVerdict]) -> str:
+        """A printable table of measured verdicts."""
+        lines = [
+            f"Measured under contention (sustainable "
+            f"{fmt_bandwidth(self.envelope.sustainable_bandwidth)}):",
+        ]
+        lines += [v.as_row() for v in verdicts]
+        n_ok = sum(v.keeping_up for v in verdicts)
+        lines.append(f"{n_ok}/{len(verdicts)} configurations keeping up")
+        return "\n".join(lines)
 
     def report(self, verdicts: list[FeasibilityVerdict]) -> str:
         """A printable table (one row per application)."""

@@ -40,6 +40,13 @@ class TechnologyEnvelope:
         storage: the slower of network and disk."""
         return min(self.network.bandwidth, self.disk.bandwidth)
 
+    @property
+    def sustainable_bandwidth(self) -> float:
+        """What a checkpoint stream can sustain end to end: data must
+        cross the wire *and* land on disk, so the slower stage bounds
+        any drain rate a transport can achieve."""
+        return self.bottleneck_bandwidth
+
 
 @dataclass(frozen=True)
 class TrendModel:

@@ -212,6 +212,13 @@ class DirtyPageTracker:
             self._slice_overhead += cost
             self.process.overhead_time += cost
 
+    def charge(self, cost: float) -> None:
+        """Charge extra instrumentation overhead to this rank (public
+        seam for the checkpoint transport's backpressure stalls: charged
+        after the alarm handler, so the cost lands in the *next*
+        timeslice's overhead window)."""
+        self._charge(cost)
+
     # -- summary ------------------------------------------------------------------------
 
     def slices(self) -> TraceLog:

@@ -10,7 +10,7 @@ instrumentation library intercepts receives through a bounce buffer.
 
 from repro.net.models import LinkSpec, ETHERNET_1G, ETHERNET_100M, INFINIBAND_10G, QSNET2
 from repro.net.message import Message
-from repro.net.network import Network
+from repro.net.network import Network, StoragePort
 from repro.net.nic import NIC
 from repro.net.topology import Topology
 
@@ -23,5 +23,6 @@ __all__ = [
     "Network",
     "NIC",
     "QSNET2",
+    "StoragePort",
     "Topology",
 ]

@@ -28,6 +28,39 @@ from repro.net.topology import Topology
 from repro.sim import Engine
 
 
+class StoragePort:
+    """A storage target's ingest link on the fabric.
+
+    Checkpoint frames from every sender serialize here before reaching
+    the disks behind it -- the aggregate-storage-bandwidth bottleneck of
+    cluster-wide coordinated writeback.  ``hops`` is the extra fabric
+    distance between a compute node and the storage target.
+    """
+
+    __slots__ = ("name", "hops", "rx_free", "bytes_received", "frames",
+                 "busy_time")
+
+    def __init__(self, name: str = "storage", hops: int = 1):
+        if hops < 0:
+            raise NetworkError(f"port hops must be >= 0, got {hops}")
+        self.name = name
+        self.hops = hops
+        self.rx_free = 0.0
+        self.bytes_received = 0
+        self.frames = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the ingest link was busy."""
+        if elapsed <= 0:
+            raise NetworkError(f"non-positive elapsed time {elapsed}")
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StoragePort {self.name!r} frames={self.frames} "
+                f"bytes={self.bytes_received}>")
+
+
 class Network:
     """Delivers :class:`Message`s between nodes with realistic timing."""
 
@@ -51,6 +84,20 @@ class Network:
         self.bytes_delivered = 0
         #: cached (obs, counters, tracer-or-None, track names) for sends
         self._obs_cache = None
+        # -- checkpoint-transport accounting (all dormant until the
+        # -- first storage_send keeps the app-message hot path free) --
+        self._ckpt_active = False
+        #: per-node time up to which checkpoint frames occupy tx/rx
+        self._ckpt_tx_until: list[float] = [0.0] * nnodes
+        self._ckpt_rx_until: list[float] = [0.0] * nnodes
+        self.storage_ports: list[StoragePort] = []
+        #: fabric delay charged to application messages by checkpoint
+        #: frames ahead of them on a link (a lower bound: waits behind
+        #: app messages that are themselves delayed are not attributed)
+        self.ckpt_contention_delay = 0.0
+        self.ckpt_contended_messages = 0
+        self.ckpt_bytes_sent = 0
+        self._ckpt_obs_cache = None
 
     def attach(self, node: int, sink: Callable[[Message], None]) -> None:
         """Register the delivery callback (the NIC) for ``node``."""
@@ -59,7 +106,13 @@ class Network:
 
     def _route(self, msg: Message, now: float) -> float:
         """Advance the link-occupation clocks for ``msg`` and stamp its
-        send/arrival times; returns the arrival time."""
+        send/arrival times; returns the arrival time.
+
+        This is the plain hot path -- identical cost to a network with
+        no checkpoint transport.  The first checkpoint frame on the
+        fabric (:meth:`storage_send`) swaps in
+        :meth:`_route_contended`, which additionally attributes link
+        waits that overlap checkpoint-frame occupancy."""
         msg.send_time = now
         if msg.src == msg.dst:
             # loopback: no wire, just a copy at memory speed (the
@@ -79,6 +132,46 @@ class Network:
             self._rx_free[msg.dst] = arrival
         msg.arrival_time = arrival
         return arrival
+
+    def _route_contended(self, msg: Message, now: float) -> float:
+        """:meth:`_route` plus contention attribution: the timing math
+        is identical (checkpoint frames already advanced the link
+        clocks), only the accounting differs."""
+        msg.send_time = now
+        if msg.src == msg.dst:
+            start = max(now, self._tx_free[msg.src])
+            if start > now:
+                self._note_contention(msg.src, now, start,
+                                      self._ckpt_tx_until)
+            arrival = start + msg.size / self.spec.bandwidth
+            self._tx_free[msg.src] = arrival
+        else:
+            serialize = msg.size / self.spec.bandwidth
+            inject_at = max(now, self._tx_free[msg.src])
+            self._tx_free[msg.src] = inject_at + serialize
+            hops = self.topology.hops(msg.src, msg.dst)
+            first_byte = (inject_at + self.spec.latency
+                          + self.spec.per_hop_latency * max(0, hops - 1))
+            start_rx = max(first_byte, self._rx_free[msg.dst])
+            arrival = start_rx + serialize
+            self._rx_free[msg.dst] = arrival
+            if inject_at > now:
+                self._note_contention(msg.src, now, inject_at,
+                                      self._ckpt_tx_until)
+            if start_rx > first_byte:
+                self._note_contention(msg.dst, first_byte, start_rx,
+                                      self._ckpt_rx_until)
+        msg.arrival_time = arrival
+        return arrival
+
+    def _note_contention(self, node: int, free_from: float, start: float,
+                         busy_until: list[float]) -> None:
+        """An application message waited on a link: attribute the part of
+        the wait that overlaps checkpoint-frame occupancy."""
+        busy = busy_until[node]
+        if busy > free_from:
+            self.ckpt_contended_messages += 1
+            self.ckpt_contention_delay += min(start, busy) - free_from
 
     def _send_obs(self, obs):
         """Per-obs cached counters/track names for the send hot path."""
@@ -168,6 +261,93 @@ class Network:
             else:
                 schedule_at(arrival, self._deliver, grp)
         return arrivals
+
+    # -- checkpoint transport ----------------------------------------------------
+
+    def open_storage_port(self, name: str = "storage",
+                          hops: int = 1) -> StoragePort:
+        """Attach a storage target's ingest link to the fabric."""
+        port = StoragePort(name, hops=hops)
+        self.storage_ports.append(port)
+        return port
+
+    def _ckpt_obs(self, obs):
+        cache = self._ckpt_obs_cache
+        if cache is None or cache[0] is not obs:
+            tracer = obs.tracer
+            cache = self._ckpt_obs_cache = (
+                obs,
+                obs.metrics.counter("net.ckpt_frames"),
+                obs.metrics.counter("net.ckpt_bytes"),
+                tracer if tracer.enabled and tracer.wants("net") else None,
+            )
+        return cache
+
+    def storage_send(self, src: int, nbytes: int, *,
+                     port: Optional[StoragePort] = None,
+                     dst: Optional[int] = None
+                     ) -> tuple[float, float, float]:
+        """Put one checkpoint frame on the fabric.
+
+        The frame occupies the sender's transmit link exactly like an
+        application message (so the two contend), crosses the wire, and
+        serializes at either a :class:`StoragePort` (shared storage
+        ingest) or a peer node's receive link (``dst``, diskless buddy).
+        Returns ``(inject_at, inject_done, arrival)``; the caller
+        schedules its own arrival handling -- no :class:`Message` is
+        delivered.
+        """
+        self._check_node(src)
+        if (port is None) == (dst is None):
+            raise NetworkError(
+                "storage_send needs exactly one of port= or dst=")
+        if nbytes < 0:
+            raise NetworkError(f"negative frame size {nbytes}")
+        if not self._ckpt_active:
+            # first frame on the fabric: swap in the accounting route so
+            # the no-checkpoint hot path stays exactly the seed code
+            self._ckpt_active = True
+            self._route = self._route_contended
+        now = self.engine.now
+        serialize = nbytes / self.spec.bandwidth
+        inject_at = max(now, self._tx_free[src])
+        inject_done = inject_at + serialize
+        self._tx_free[src] = inject_done
+        if inject_done > self._ckpt_tx_until[src]:
+            self._ckpt_tx_until[src] = inject_done
+        if port is not None:
+            first_byte = (inject_at + self.spec.latency
+                          + self.spec.per_hop_latency * max(0, port.hops - 1))
+            start_rx = max(first_byte, port.rx_free)
+            arrival = start_rx + serialize
+            port.rx_free = arrival
+            port.bytes_received += nbytes
+            port.frames += 1
+            port.busy_time += serialize
+            target = port.name
+        else:
+            self._check_node(dst)
+            hops = self.topology.hops(src, dst)
+            first_byte = (inject_at + self.spec.latency
+                          + self.spec.per_hop_latency * max(0, hops - 1))
+            start_rx = max(first_byte, self._rx_free[dst])
+            arrival = start_rx + serialize
+            self._rx_free[dst] = arrival
+            if arrival > self._ckpt_rx_until[dst]:
+                self._ckpt_rx_until[dst] = arrival
+            target = dst
+        self.ckpt_bytes_sent += nbytes
+        obs = self.engine.obs
+        if obs.enabled:
+            _, ctr_frames, ctr_bytes, tracer = self._ckpt_obs(obs)
+            ctr_frames.inc()
+            ctr_bytes.inc(nbytes)
+            if tracer is not None:
+                tracer.complete("ckpt.frame", "net", inject_at,
+                                arrival - inject_at,
+                                track=f"net.tx{src}", target=target,
+                                size=nbytes)
+        return inject_at, inject_done, arrival
 
     def _deliver(self, msg: Message) -> None:
         sink = self._sinks[msg.dst]

@@ -65,6 +65,28 @@ class DisklessSink:
         self.engine.schedule_at(done_at, fut.resolve, done_at)
         return fut
 
+    def ingest(self, nbytes: int) -> Future:
+        """Deposit ``nbytes`` that already crossed the fabric (the
+        checkpoint transport simulated the wire itself): charge only the
+        memcpy into the buddy's memory plus capacity."""
+        if nbytes < 0:
+            raise StorageError(f"negative ingest size {nbytes}")
+        if self.bytes_held + nbytes > self.capacity:
+            raise StorageError(
+                f"{self.name}: buddy memory exhausted "
+                f"({self.bytes_held + nbytes} > {self.capacity}); release "
+                "retired checkpoints first")
+        now = self.engine.now
+        start = max(now, self._free_at)
+        done_at = start + nbytes / self.memcpy_bandwidth
+        self._free_at = done_at
+        self.bytes_written += nbytes
+        self.bytes_held += nbytes
+        self.ops += 1
+        fut = Future(self.engine, label=f"{self.name}.ingest#{self.ops}")
+        self.engine.schedule_at(done_at, fut.resolve, done_at)
+        return fut
+
     def release(self, nbytes: int) -> None:
         """Retire ``nbytes`` of old checkpoints from the buddy's memory."""
         if nbytes < 0 or nbytes > self.bytes_held:

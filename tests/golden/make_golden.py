@@ -11,12 +11,15 @@ metrics of one seeded fault-injection run on it.  Every value is exact
 tolerance.
 """
 
+import hashlib
 import json
 from pathlib import Path
 
+from repro.apps.registry import paper_spec
 from repro.apps.synthetic import small_spec
 from repro.cluster.experiment import ExperimentConfig, run_experiment
 from repro.faults import FaultPlan, run_with_failures
+from repro.obs import Observability, Tracer, strip_wall_times
 
 HERE = Path(__file__).parent
 
@@ -25,6 +28,22 @@ SPEC = small_spec(name="golden", footprint_mb=6, main_mb=3, period=1.0,
 CONFIG = ExperimentConfig(spec=SPEC, nranks=2, timeslice=0.5,
                           run_duration=8.0)
 PLAN = FaultPlan.exponential(mtbf=4.0, nranks=2, horizon=25.0, seed=9)
+
+#: the transport golden: a small 8-rank Sage run whose checkpoints are
+#: real scheduled traffic (network transport).  The full event stream
+#: is ~1.4 MB, so the golden pins its length and sha256 (canonical
+#: JSON, wall times stripped) plus the scalar outcomes.
+TRANSPORT_CONFIG = ExperimentConfig(
+    spec=paper_spec("sage-50MB"), nranks=8, timeslice=0.5,
+    run_duration=6.0, ckpt_transport="network",
+    ckpt_interval_slices=2, ckpt_full_every=3)
+TRANSPORT_CATEGORIES = frozenset(
+    {"timeslice", "net", "checkpoint", "storage"})
+
+
+def canonical_events(tracer: Tracer) -> str:
+    """The comparable stream: wall times stripped, keys sorted."""
+    return json.dumps(strip_wall_times(tracer.events), sort_keys=True)
 
 
 def trace_payload() -> dict:
@@ -70,9 +89,45 @@ def faults_payload() -> dict:
     }
 
 
+def transport_payload() -> dict:
+    tracer = Tracer(wall_clock=None, categories=TRANSPORT_CATEGORIES)
+    result = run_experiment(TRANSPORT_CONFIG,
+                            obs=Observability(tracer=tracer))
+    canon = canonical_events(tracer)
+    stats = result.transport_stats
+    verdict = result.measured_feasibility()
+    return {
+        "app": TRANSPORT_CONFIG.spec.name,
+        "nranks": TRANSPORT_CONFIG.nranks,
+        "final_time": result.final_time,
+        "ckpt_commits": result.ckpt_commits,
+        "n_events": len(tracer.events),
+        "events_sha256": hashlib.sha256(canon.encode()).hexdigest(),
+        "transport": {
+            "mode": stats.mode,
+            "pieces": stats.pieces,
+            "frames": stats.frames,
+            "bytes_submitted": stats.bytes_submitted,
+            "bytes_drained": stats.bytes_drained,
+            "peak_queue_bytes": stats.peak_queue_bytes,
+            "stalls": stats.stalls,
+            "stall_time": stats.stall_time,
+            "busy_time": stats.busy_time,
+            "achieved_bandwidth": stats.achieved_bandwidth,
+            "contention_delay": stats.contention_delay,
+            "contended_messages": stats.contended_messages,
+        },
+        "measured": {
+            "fraction_of_sustainable": verdict.fraction_of_sustainable,
+            "keeping_up": verdict.keeping_up,
+        },
+    }
+
+
 def main() -> None:
     for name, payload in (("golden_trace.json", trace_payload()),
-                          ("golden_faults.json", faults_payload())):
+                          ("golden_faults.json", faults_payload()),
+                          ("golden_transport.json", transport_payload())):
         path = HERE / name
         path.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"wrote {path}")

@@ -10,7 +10,12 @@ of the reproduction changed.
 import json
 from pathlib import Path
 
-from tests.golden.make_golden import faults_payload, trace_payload
+from repro.obs import Observability, Tracer
+from repro.cluster.experiment import run_experiment
+from tests.golden.make_golden import (TRANSPORT_CATEGORIES,
+                                      TRANSPORT_CONFIG, canonical_events,
+                                      faults_payload, trace_payload,
+                                      transport_payload)
 
 HERE = Path(__file__).parent
 
@@ -44,6 +49,37 @@ def test_fault_run_matches_golden_exactly():
                                    golden["failures"])):
         assert g == w, f"failure {i}"
     assert current["metrics"] == golden["metrics"]
+
+
+def test_transport_run_matches_golden_exactly():
+    golden = load("golden_transport.json")
+    current = json.loads(json.dumps(transport_payload()))
+    assert current == golden
+
+
+def test_transport_run_is_deterministic_byte_for_byte():
+    # two same-seed runs, compared as exported bytes after stripping
+    # wall times (wall_clock=None means there are none to begin with,
+    # so the canonical stream IS the exported stream)
+    streams = []
+    for _ in range(2):
+        tracer = Tracer(wall_clock=None, categories=TRANSPORT_CATEGORIES)
+        run_experiment(TRANSPORT_CONFIG, obs=Observability(tracer=tracer))
+        streams.append(canonical_events(tracer).encode())
+    assert streams[0] == streams[1]
+
+
+def test_golden_transport_actually_measures():
+    # guard against the golden being regenerated into a trivial run
+    golden = load("golden_transport.json")
+    t = golden["transport"]
+    assert golden["nranks"] == 8 and golden["app"].startswith("sage")
+    assert golden["ckpt_commits"] > 0
+    assert t["mode"] == "network"
+    assert t["frames"] > t["pieces"] > 0       # real framed traffic
+    assert t["bytes_drained"] == t["bytes_submitted"] > 0
+    assert 0.0 < t["achieved_bandwidth"] <= 320 * 2**20  # disk-bound
+    assert 0.0 < golden["measured"]["fraction_of_sustainable"] <= 1.0
 
 
 def test_golden_fault_run_actually_recovers():

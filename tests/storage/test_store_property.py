@@ -1,0 +1,181 @@
+"""Property tests: checkpoint chain invariants under random op orders.
+
+The unit tests in ``test_store.py`` pin each rule down one at a time;
+here hypothesis drives random interleavings of the operations the
+:class:`~repro.checkpoint.coordinated.CheckpointEngine` actually
+performs -- put, commit, write-failure discard (a failed piece plus its
+orphaned deltas), and GC truncation at a committed full boundary -- and
+asserts the structural invariants hold after *every* step:
+
+- each rank's chain starts with a full checkpoint and its sequence
+  numbers strictly increase;
+- every recovery chain ``chain(rank, upto)`` is empty or headed by a
+  full piece with all sequences in range;
+- committed sequences strictly increase, and the latest committed
+  sequence stays recoverable on every rank (a full head at or before
+  it, and the rank's piece for it still present).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.store import CheckpointStore
+
+NRANKS = 3
+
+
+def check_invariants(store: CheckpointStore) -> None:
+    committed = store.committed_sequences()
+    assert committed == sorted(set(committed))
+    latest = store.latest_committed()
+    for rank in range(NRANKS):
+        pieces = store.pieces(rank)
+        seqs = [o.seq for o in pieces]
+        assert seqs == sorted(set(seqs))
+        if pieces:
+            assert pieces[0].kind == "full"
+        for upto in (seqs + [latest] if latest is not None else seqs):
+            chain = store.chain(rank, upto_seq=upto)
+            if chain:
+                assert chain[0].kind == "full"
+                assert all(o.seq <= upto for o in chain)
+        if latest is not None:
+            recovery = store.chain(rank, upto_seq=latest)
+            assert recovery, f"rank {rank} lost committed seq {latest}"
+            assert recovery[0].kind == "full"
+            assert any(o.seq == latest for o in recovery)
+
+
+def _commit_candidates(store: CheckpointStore):
+    """Sequences present on every rank and newer than the last commit."""
+    latest = store.latest_committed()
+    common = set.intersection(*({o.seq for o in store.pieces(r)}
+                                for r in range(NRANKS)))
+    return sorted(s for s in common if latest is None or s > latest)
+
+
+def _fail_candidates(store: CheckpointStore):
+    """(rank, seq) pairs the engine's write-failure path could hit: the
+    piece is uncommitted, and so is every delta after it up to the next
+    full (FIFO sinks guarantee this in the real engine)."""
+    committed = set(store.committed_sequences())
+    out = []
+    for rank in range(NRANKS):
+        pieces = store.pieces(rank)
+        for i, obj in enumerate(pieces):
+            if obj.seq in committed:
+                continue
+            tail_ok = True
+            for later in pieces[i + 1:]:
+                if later.kind == "full":
+                    break
+                if later.seq in committed:
+                    tail_ok = False
+                    break
+            if tail_ok:
+                out.append((rank, obj.seq))
+    return out
+
+
+def _gc_candidates(store: CheckpointStore):
+    """Committed sequences stored as a full piece on every rank."""
+    fulls = set.intersection(*({o.seq for o in store.pieces(r)
+                                if o.kind == "full"}
+                               for r in range(NRANKS)))
+    return sorted(s for s in store.committed_sequences() if s in fulls)
+
+
+def _write_failed(store: CheckpointStore, rank: int, seq: int) -> None:
+    """Mirror ``CheckpointEngine._on_write_failed``: drop the piece and
+    the orphaned deltas captured on top of it."""
+    store.discard(rank, seq)
+    for obj in list(store.pieces(rank)):
+        if obj.seq <= seq:
+            continue
+        if obj.kind == "full":
+            break
+        store.discard(rank, obj.seq)
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_chain_invariants_under_random_interleavings(data):
+    store = CheckpointStore(NRANKS)
+    seq = 0
+    for _ in range(data.draw(st.integers(min_value=5, max_value=40),
+                             label="n_ops")):
+        op = data.draw(st.sampled_from(
+            ["capture", "partial", "commit", "write_failed", "gc"]),
+            label="op")
+        if op == "capture":
+            # a coordinated capture round: every rank stores a piece
+            seq += data.draw(st.integers(min_value=1, max_value=3),
+                             label="seq_step")
+            for rank in range(NRANKS):
+                kind = ("full" if not store.pieces(rank)
+                        or data.draw(st.booleans(), label="full?")
+                        else "incremental")
+                store.put(rank, seq, kind,
+                          data.draw(st.integers(min_value=0, max_value=4096),
+                                    label="nbytes"))
+        elif op == "partial":
+            # one rank stores ahead of the others (stragglers exist)
+            seq += 1
+            rank = data.draw(st.integers(min_value=0, max_value=NRANKS - 1),
+                             label="rank")
+            kind = "full" if not store.pieces(rank) else "incremental"
+            store.put(rank, seq, kind, 512)
+        elif op == "commit":
+            candidates = _commit_candidates(store)
+            if candidates:
+                store.mark_committed(data.draw(st.sampled_from(candidates),
+                                               label="commit_seq"))
+        elif op == "write_failed":
+            pairs = _fail_candidates(store)
+            if pairs:
+                rank, s = data.draw(st.sampled_from(pairs), label="fail")
+                _write_failed(store, rank, s)
+        else:  # gc
+            fulls = _gc_candidates(store)
+            if fulls:
+                boundary = data.draw(st.sampled_from(fulls), label="gc_seq")
+                for rank in range(NRANKS):
+                    store.truncate(rank, before_seq=boundary)
+        check_invariants(store)
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_rejected_operations_do_not_mutate(data):
+    """An op the store refuses must leave no partial state behind."""
+    store = CheckpointStore(1)
+    store.put(0, 0, "full", 100)
+    store.put(0, 2, "incremental", 10)
+    store.mark_committed(0)
+    snapshot = (store.pieces(0), store.committed_sequences(),
+                store.total_bytes())
+    bad = data.draw(st.sampled_from([
+        lambda: store.put(0, 1, "incremental", 5),       # non-monotone
+        lambda: store.put(0, 3, "bogus", 5),             # unknown kind
+        lambda: store.put(0, 3, "incremental", -1),      # negative size
+        lambda: store.mark_committed(5),                 # nothing stored
+        lambda: store.discard(0, 0),                     # committed
+        lambda: store.discard(0, 7),                     # missing
+        lambda: store.truncate(0, 2),                    # orphans the delta
+    ]), label="bad_op")
+    try:
+        bad()
+    except StorageError:
+        pass
+    else:  # pragma: no cover - the draw above must always be refused
+        raise AssertionError("operation should have been refused")
+    assert (store.pieces(0), store.committed_sequences(),
+            store.total_bytes()) == snapshot
+    check_store_single_rank(store)
+
+
+def check_store_single_rank(store: CheckpointStore) -> None:
+    pieces = store.pieces(0)
+    assert pieces and pieces[0].kind == "full"
+    assert [o.seq for o in pieces] == sorted({o.seq for o in pieces})
