@@ -22,7 +22,12 @@ trajectory to compare against:
    paper's Fig 5 (sage-1000MB across three timeslices), the workload
    the matching/collective/alarm-path optimizations target.  Compared
    against ``PRE_PR_REFERENCE`` so the speedup is part of the record.
-6. **ckpt_transport** -- the contention study: the same Sage
+6. **scale** -- the 1024-rank row of the same workload (256 ranks in
+   quick mode), with a same-session 64-rank anchor and the per-rank
+   throughput comparison against its naive ``x nranks/64``
+   extrapolation -- the regime the coalesced alarm path and sharded
+   execution target;
+7. **ckpt_transport** -- the contention study: the same Sage
    configuration with the flat write-out estimate and with checkpoints
    as real scheduled traffic (``--ckpt-transport network``), reporting
    achieved drain bandwidth, checkpoint-induced message delay,
@@ -50,8 +55,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.cluster.experiment import paper_config, sweep_timeslices
-from repro.exec import ResultCache
+from repro.cluster.experiment import paper_config
+from repro.exec import ResultCache, SweepExecutor
 from repro.mem.pagetable import PageTable
 from repro.sim.engine import Engine
 
@@ -64,6 +69,9 @@ FIG2_TIMESLICES = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0]
 FIG5_APP = "sage-1000MB"
 FIG5_NRANKS = 64
 FIG5_TIMESLICES = [1.0, 5.0, 20.0]
+
+FIG5_SCALE_NRANKS = 1024
+FIG5_SCALE_QUICK_NRANKS = 256
 
 #: measured at the growth seed (commit ac3c2e1), 1-CPU container --
 #: the "before" of this harness's first trajectory point
@@ -221,6 +229,61 @@ def bench_fig5(timeslices: list[float], repeats: int) -> dict:
     return out
 
 
+def bench_scale(quick: bool) -> dict:
+    """The 1024-rank scale row (256 ranks, one timeslice, one app
+    iteration in ``--quick`` mode): the fig5 workload at the rank count
+    the paper's feasibility argument is actually about.
+
+    A 64-rank anchor row is re-timed in the same session so the
+    comparison is immune to machine drift, then scaled by ``nranks/64``
+    into the *naive extrapolation*: the wall time the scale row would
+    cost if per-rank cost stayed exactly what the 64-rank row implies.
+    ``per_rank_throughput_gain`` is that prediction divided by the
+    measured row -- above 1.0 means per-rank cost *shrank* with scale
+    (the coalesced alarm path amortizing across ranks), below 1.0 means
+    super-linear skeleton costs (collective message count grows
+    n log n) still dominate.  Either way the recorded number is the
+    measured truth, not the target."""
+    from repro.cluster.experiment import run_experiment
+
+    nranks = FIG5_SCALE_QUICK_NRANKS if quick else FIG5_SCALE_NRANKS
+    timeslices = FIG5_TIMESLICES[-1:] if quick else FIG5_TIMESLICES
+    # quick mode stops after the first app iteration (~150 sim-s);
+    # full mode runs the fig5 row's default 600 sim-s
+    duration = 150.0 if quick else None
+
+    def timed_row(nr: int):
+        times: dict[str, float] = {}
+        final = 0.0
+        for ts in timeslices:
+            config = paper_config(FIG5_APP, nranks=nr, timeslice=ts,
+                                  run_duration=duration)
+            t0 = time.perf_counter()
+            result = run_experiment(config)
+            times[str(ts)] = round(time.perf_counter() - t0, 3)
+            final = result.final_time
+        return times, round(sum(times.values()), 3), final
+
+    anchor_ts, anchor_row, final64 = timed_row(FIG5_NRANKS)
+    big_ts, big_row, final_big = timed_row(nranks)
+    factor = nranks / FIG5_NRANKS
+    naive = round(anchor_row * factor, 3)
+    sim_s = final_big * len(timeslices)
+    return {
+        "app": FIG5_APP,
+        "nranks": nranks,
+        "timeslices": timeslices,
+        "sim_duration_s": round(final_big, 2),
+        "anchor64_per_timeslice_s": anchor_ts,
+        "anchor64_row_s": anchor_row,
+        "per_timeslice_s": big_ts,
+        "row_s": big_row,
+        "naive_extrapolation_s": naive,
+        "per_rank_throughput_gain": round(naive / big_row, 3),
+        "rank_sim_s_per_wall_s": round(nranks * sim_s / big_row),
+    }
+
+
 def _ib_table(results_by_panel: dict) -> dict:
     """IBStats flattened to comparable plain values."""
     return {
@@ -233,11 +296,14 @@ def _ib_table(results_by_panel: dict) -> dict:
 
 def _run_fig2(jobs: int, cache: ResultCache | None,
               panels: list[str], timeslices: list[float]) -> dict:
-    out = {}
-    for name in panels:
-        out[name] = sweep_timeslices(paper_config(name, nranks=2),
-                                     timeslices, jobs=jobs, cache=cache)
-    return out
+    """All panels as ONE executor submission: a per-panel loop would put
+    a pool barrier between panels (workers idle at each panel's tail);
+    flattened, the pool pipelines straight through all 36 points."""
+    configs = [paper_config(name, nranks=2).scaled(timeslice=ts)
+               for name in panels for ts in timeslices]
+    results = SweepExecutor(jobs=jobs, cache=cache).run_many(configs)
+    it = iter(results)
+    return {name: {ts: next(it) for ts in timeslices} for name in panels}
 
 
 def bench_sweep(jobs: int, panels: list[str],
@@ -392,6 +458,14 @@ def main(argv=None) -> int:
         line += (f" (pre-PR {fig5['pre_pr_row_s']}s, "
                  f"{fig5['speedup_vs_pre_pr']}x)")
     print(line)
+    scale_nranks = (FIG5_SCALE_QUICK_NRANKS if args.quick
+                    else FIG5_SCALE_NRANKS)
+    print(f"scale: {FIG5_APP} x {scale_nranks} ranks ...", flush=True)
+    scale = bench_scale(args.quick)
+    print(f"  row {scale['row_s']}s (64-rank anchor "
+          f"{scale['anchor64_row_s']}s, naive x{scale_nranks // FIG5_NRANKS} "
+          f"extrapolation {scale['naive_extrapolation_s']}s, "
+          f"per-rank throughput gain {scale['per_rank_throughput_gain']}x)")
     print("ckpt transport: estimate vs network ...", flush=True)
     contention = bench_contention(args.quick)
     print(f"  {contention['app']}: drain "
@@ -411,6 +485,7 @@ def main(argv=None) -> int:
         "obs": obs,
         "sweep": sweep,
         "fig5": fig5,
+        "scale": scale,
         "ckpt_transport": contention,
         "seed_reference": SEED_REFERENCE,
         "pre_pr_reference": PRE_PR_REFERENCE,

@@ -139,7 +139,8 @@ class ScientificApplication:
                  run_duration: Optional[float] = None,
                  n_iterations: Optional[int] = None,
                  charge_overhead: bool = False,
-                 layout: Optional[Layout] = None):
+                 layout: Optional[Layout] = None,
+                 phantom_ranks: Optional[frozenset] = None):
         if run_duration is None and n_iterations is None:
             raise ConfigurationError(
                 "need run_duration and/or n_iterations to bound the run")
@@ -148,6 +149,10 @@ class ScientificApplication:
         self.n_iterations = n_iterations
         self.charge_overhead = charge_overhead
         self.layout = layout or Layout()
+        #: ranks owned by another shard in a sharded run: their processes
+        #: carry O(1) phantom page state (see PhantomPageTable) while the
+        #: event skeleton -- compute timing, MPI, network -- runs in full
+        self.phantom_ranks = phantom_ranks or frozenset()
         self._contexts: list[AppRunContext] = []
 
     # -- process construction -----------------------------------------------------
@@ -172,7 +177,8 @@ class ScientificApplication:
                 data = 2 * MiB
                 bss = 2 * MiB
             return Process(engine, name=f"{spec.name}.r{rank}",
-                           layout=self.layout, data_size=data, bss_size=bss)
+                           layout=self.layout, data_size=data, bss_size=bss,
+                           phantom=rank in self.phantom_ranks)
 
         return make
 

@@ -11,6 +11,7 @@ behind the paper's declining IB-versus-timeslice curves.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -46,7 +47,13 @@ class Region:
         self.extents = list(extents)
         if not self.extents:
             raise ConfigurationError(f"region {self.name!r} has no extents")
-        self.npages = sum(e.npages for e in self.extents)
+        #: logical start offset of each extent plus a final total -- the
+        #: touch path bisects into this instead of walking every extent
+        offsets = [0]
+        for e in self.extents:
+            offsets.append(offsets[-1] + e.npages)
+        self._offsets = offsets
+        self.npages = offsets[-1]
 
     # -- constructors ---------------------------------------------------------------
 
@@ -86,8 +93,9 @@ class Region:
     def touch_all(self, memory: AddressSpace) -> int:
         """CPU-write every page once; returns faults taken."""
         faults = 0
+        write = memory.cpu_write_pages
         for e in self.extents:
-            faults += memory.cpu_write_pages(e.segment, e.lo, e.hi).faults
+            faults += write(e.segment, e.lo, e.hi).faults
         return faults
 
     def touch_visits(self, memory: AddressSpace, v0: int, v1: int) -> int:
@@ -110,18 +118,28 @@ class Region:
                 + self._touch_logical(memory, 0, b - self.npages))
 
     def _touch_logical(self, memory: AddressSpace, lo: int, hi: int) -> int:
-        """Write logical page range ``[lo, hi)`` (no wrap-around)."""
+        """Write logical page range ``[lo, hi)`` (no wrap-around).
+
+        Bisects to the first overlapping extent, then walks only the
+        extents the range actually covers -- O(log E + overlap) instead
+        of O(E) per touch."""
         faults = 0
-        offset = 0
-        for e in self.extents:
-            e_lo = max(lo - offset, 0)
-            e_hi = min(hi - offset, e.npages)
-            if e_lo < e_hi:
-                faults += memory.cpu_write_pages(
-                    e.segment, e.lo + e_lo, e.lo + e_hi).faults
-            offset += e.npages
-            if offset >= hi:
+        offsets = self._offsets
+        extents = self.extents
+        write = memory.cpu_write_pages
+        i = bisect_right(offsets, lo) - 1
+        n = len(extents)
+        while i < n:
+            off = offsets[i]
+            if off >= hi:
                 break
+            e = extents[i]
+            e_lo = lo - off if lo > off else 0
+            e_hi = hi - off
+            if e_hi > e.npages:
+                e_hi = e.npages
+            faults += write(e.segment, e.lo + e_lo, e.lo + e_hi).faults
+            i += 1
         return faults
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -123,6 +123,11 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--ranks", type=int, default=4)
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds after initialization")
+    run.add_argument("--shards", type=_positive_int, default=1,
+                     help="simulate rank groups in N worker processes "
+                          "and merge deterministically (default 1: "
+                          "in-process; results are sim-identical at "
+                          "any shard count)")
     run.add_argument("--save-trace", metavar="DIR", default=None,
                      help="write per-rank traces (npz+json) to DIR")
     run.add_argument("--ckpt-transport",
@@ -152,6 +157,10 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for the sweep (default 1: "
                             "serial; results are identical at any count)")
+    sweep.add_argument("--shards", type=_positive_int, default=1,
+                       help="shard each run's rank groups across N "
+                            "worker processes (serial sweeps only; "
+                            "mutually exclusive with --jobs > 1)")
     sweep.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent result cache (default: "
                             "$REPRO_CACHE_DIR if set, else no cache)")
@@ -263,7 +272,7 @@ def cmd_run(args, out) -> int:
                           ckpt_interval_slices=args.ckpt_interval,
                           ckpt_full_every=args.ckpt_full_every)
     obs = _make_obs(args)
-    result = run_experiment(config, obs=obs)
+    result = run_experiment(config, obs=obs, shards=args.shards)
     _finish_obs(obs, args, out)
     print(f"{args.app}: {result.final_time:.1f} s simulated, "
           f"{result.iterations} iterations, {args.ranks} ranks", file=out)
@@ -304,7 +313,7 @@ def cmd_sweep(args, out) -> int:
     obs = _make_obs(args)
     t0 = time.perf_counter()
     results = sweep_timeslices(config, timeslices, jobs=args.jobs,
-                               cache=cache, obs=obs)
+                               cache=cache, obs=obs, shards=args.shards)
     elapsed = time.perf_counter() - t0
     _finish_obs(obs, args, out)
     print(f"{args.app}: average/maximum IB vs timeslice", file=out)

@@ -1,0 +1,319 @@
+"""Sharded rank-group execution with deterministic merge.
+
+Scaling the simulator to 1024 ranks in one process leaves most of the
+wall time in per-rank page-table state: every rank's dirty tracking,
+protection sweeps, and write-version bookkeeping run on one core.
+This module partitions the ranks into node-aligned contiguous groups
+and simulates each group in its own worker process (the warm fork pool
+of :mod:`repro.exec.pool`), then merges the per-shard streams into one
+result that is *sim-identical* to the single-process run.
+
+The trick that makes the merge deterministic is a **replicated
+skeleton**: every shard simulates the full event skeleton -- all ranks,
+all MPI traffic, the complete network model -- but only its *owned*
+ranks carry real page tables; every other rank gets a
+:class:`~repro.mem.PhantomPageTable` whose operations are O(1) no-ops.
+Because the discrete-event engine is deterministic and (under the
+configuration gate below) no event's *timing* depends on page-table
+state, each shard walks the exact same event sequence at the exact same
+virtual times.  There is therefore nothing to exchange at shard
+boundaries -- each shard already computed the traffic the others would
+have sent it -- and the "barrier protocol" reduces to *verification*:
+per timeslice-epoch window, every shard folds each cross-shard message
+delivery ``(time, src, dst, tag, size)`` into a running digest, and the
+parent asserts the digests agree across shards window by window.  A
+mismatch means the determinism contract was broken and raises
+:class:`~repro.errors.ShardDivergenceError` rather than silently
+merging divergent simulations.
+
+The configuration gate enforces the "timing is page-state-independent"
+precondition:
+
+- ``ckpt_transport`` must be ``None`` -- checkpoint piece sizes derive
+  from dirty-page counts, which phantoms cannot answer;
+- ``charge_overhead`` must be ``False`` -- fault/re-protect overhead
+  folded into the app clock would depend on per-rank fault counts;
+- ``intercept_receives`` must be ``True`` -- strict-DMA delivery
+  bounces based on target-page protection state.
+
+Violations raise :class:`~repro.errors.ConfigurationError` up front.
+
+When the caller traces, each worker records the full event stream with
+a wall-clock-free tracer; streams are position-aligned (identical
+dispatch sequences), so the parent takes page-state-dependent
+``timeslice`` events from the shard owning that rank and everything
+else from shard 0, cross-checking every position across all shards.
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+from typing import Optional
+
+from repro.errors import ConfigurationError, ShardDivergenceError
+
+
+def rank_groups(nranks: int, procs_per_node: int, shards: int) -> list[range]:
+    """Partition ranks into ``shards`` contiguous node-aligned groups.
+
+    Groups never split a node (co-scheduled ranks share NIC contention
+    and fork-pool locality), so ``shards`` may not exceed the node
+    count.  Returns one ``range`` of ranks per shard, in rank order."""
+    if shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {shards}")
+    nnodes = -(-nranks // procs_per_node)
+    if shards > nnodes:
+        raise ConfigurationError(
+            f"{shards} shards but only {nnodes} nodes "
+            f"({nranks} ranks at {procs_per_node}/node); "
+            f"shards must not split a node")
+    groups = []
+    for i in range(shards):
+        lo = (i * nnodes // shards) * procs_per_node
+        hi = min(((i + 1) * nnodes // shards) * procs_per_node, nranks)
+        groups.append(range(lo, hi))
+    return groups
+
+
+def check_shardable(config, shards: int) -> None:
+    """Raise :class:`ConfigurationError` unless ``config`` satisfies the
+    page-state-independent-timing gate (see the module docstring) and
+    the rank/node geometry admits ``shards`` groups."""
+    if config.ckpt_transport is not None:
+        raise ConfigurationError(
+            "sharded execution requires ckpt_transport=None: checkpoint "
+            "piece sizes derive from dirty-page state that phantom "
+            "ranks do not carry")
+    if config.charge_overhead:
+        raise ConfigurationError(
+            "sharded execution requires charge_overhead=False: folding "
+            "fault overhead into the app clock makes event timing "
+            "depend on per-rank page state")
+    if not config.intercept_receives:
+        raise ConfigurationError(
+            "sharded execution requires intercept_receives=True: "
+            "strict-DMA delivery consults target-page protection state")
+    rank_groups(config.nranks, config.procs_per_node, shards)
+
+
+class _CrossShardLedger:
+    """Per-window digests of cross-shard message deliveries.
+
+    One instance per shard worker; listeners on every rank's
+    communicator fold each delivery whose source lies in a *different*
+    shard into a per-window blake2b digest.  Windows are timeslice
+    epochs (``floor(now / window)``); both the window index and the
+    packed float timestamp are bit-identical across shards when the
+    simulations agree."""
+
+    def __init__(self, group_of: dict[int, int], window: float):
+        self.group_of = group_of
+        self.window = window
+        self.hashers: dict[int, "blake2b"] = {}
+        self.msgs = 0
+        self.bytes = 0
+        self.engine = None
+
+    def attach(self, engine, contexts) -> None:
+        """Install a receive listener on every rank's communicator."""
+        self.engine = engine
+        for ctx in contexts:
+            ctx.comm.receive_listeners.append(self._listener(ctx.rank))
+
+    def _listener(self, dst: int):
+        dst_group = self.group_of[dst]
+        group_of = self.group_of
+
+        def on_receive(msg) -> None:
+            if group_of[msg.src] == dst_group:
+                return
+            now = self.engine.now
+            w = int(now / self.window)
+            h = self.hashers.get(w)
+            if h is None:
+                h = self.hashers[w] = blake2b(digest_size=16)
+            h.update(struct.pack("<dqqqq", now, msg.src, dst,
+                                 msg.tag, msg.size))
+            self.msgs += 1
+            self.bytes += msg.size
+        return on_receive
+
+    def digests(self) -> dict[int, str]:
+        """The finalized per-window hex digests."""
+        return {w: h.hexdigest() for w, h in self.hashers.items()}
+
+
+def _run_shard(config, shard_index: int, shards: int, coalesce_timers: bool,
+               trace_categories: Optional[list]) -> dict:
+    """Pool worker: simulate the full skeleton with one owned rank group.
+
+    Returns a picklable outcome: the owned ranks' timeslice logs, the
+    rank-0 scalars (computed identically in every shard -- control flow
+    does not depend on page state), the cross-shard traffic digests,
+    and, when tracing, the wall-free event stream."""
+    from repro.cluster.experiment import _execute  # deferred: experiment imports us
+
+    groups = rank_groups(config.nranks, config.procs_per_node, shards)
+    group_of = {r: gi for gi, g in enumerate(groups) for r in g}
+    phantoms = frozenset(r for r in range(config.nranks)
+                         if group_of[r] != shard_index)
+    obs = None
+    if trace_categories is not None:
+        from repro.obs import Observability, Tracer
+        obs = Observability(tracer=Tracer(categories=trace_categories,
+                                          wall_clock=None))
+    ledger = _CrossShardLedger(group_of, window=config.timeslice)
+
+    def before_run(engine, app, job, library) -> None:
+        ledger.attach(engine, job.contexts)
+
+    result = _execute(config, obs, coalesce_timers,
+                      phantom_ranks=phantoms, before_run=before_run)
+    owned = set(groups[shard_index])
+    out = {
+        "shard": shard_index,
+        "owned": sorted(owned),
+        "logs": {r: log for r, log in result.logs.items() if r in owned},
+        "init_end_time": result.init_end_time,
+        "iterations": result.iterations,
+        "iteration_starts": list(result.iteration_starts),
+        "final_time": result.final_time,
+        "dispatched": result.job.engine.stats()["dispatched"],
+        "digests": ledger.digests(),
+        "cross_msgs": ledger.msgs,
+        "cross_bytes": ledger.bytes,
+        "events": None,
+        "tracks": None,
+    }
+    if obs is not None:
+        out["events"] = obs.tracer.events
+        out["tracks"] = dict(obs.tracer._tracks)
+    return out
+
+
+def _verify_outcomes(outcomes: list[dict]) -> None:
+    """Assert every shard walked the same simulation: identical scalars,
+    identical event counts, identical per-window traffic digests."""
+    o0 = outcomes[0]
+    for o in outcomes[1:]:
+        for key in ("final_time", "init_end_time", "iterations",
+                    "iteration_starts", "dispatched", "cross_msgs",
+                    "cross_bytes"):
+            if o[key] != o0[key]:
+                raise ShardDivergenceError(
+                    f"shard {o['shard']} disagrees with shard 0 on "
+                    f"{key}: {o[key]!r} != {o0[key]!r}")
+        if o["digests"] != o0["digests"]:
+            bad = sorted(w for w in set(o["digests"]) | set(o0["digests"])
+                         if o["digests"].get(w) != o0["digests"].get(w))
+            raise ShardDivergenceError(
+                f"cross-shard traffic digest mismatch between shard "
+                f"{o['shard']} and shard 0 in barrier window(s) "
+                f"{bad[:5]} (of {len(bad)} differing)")
+
+
+def _merge_events(outcomes: list[dict], parent_tracer) -> list[dict]:
+    """Stamp-ordered merge of the per-shard event streams.
+
+    Streams are position-aligned, so the merge is a per-position pick:
+    ``timeslice`` events (whose args carry page-state-derived IWS and
+    fault counts) come from the shard owning that rank's page tables;
+    every other event comes from shard 0.  Every position is
+    cross-checked across all shards -- identity fields always, args too
+    outside the page-state-dependent category.  Track ids are remapped
+    through the parent tracer so exported metadata stays consistent."""
+    streams = [o["events"] for o in outcomes]
+    n = len(streams[0])
+    for o, s in zip(outcomes, streams):
+        if len(s) != n:
+            raise ShardDivergenceError(
+                f"shard {o['shard']} recorded {len(s)} trace events, "
+                f"shard 0 recorded {n}")
+    tid_to_track = [{tid: track for track, tid in o["tracks"].items()}
+                    for o in outcomes]
+    rank_owner = {f"rank{r}": i for i, o in enumerate(outcomes)
+                  for r in o["owned"]}
+    merged = []
+    for i in range(n):
+        ev0 = streams[0][i]
+        key0 = (ev0["name"], ev0.get("cat"), ev0["ts"], ev0["ph"])
+        page_state_dep = ev0.get("cat") == "timeslice"
+        for s in range(1, len(streams)):
+            evs = streams[s][i]
+            if (evs["name"], evs.get("cat"), evs["ts"], evs["ph"]) != key0:
+                raise ShardDivergenceError(
+                    f"shard {outcomes[s]['shard']} diverges from shard 0 "
+                    f"at trace event {i}: {evs['name']!r}@{evs['ts']} != "
+                    f"{ev0['name']!r}@{ev0['ts']}")
+            if not page_state_dep and evs.get("args") != ev0.get("args"):
+                raise ShardDivergenceError(
+                    f"shard {outcomes[s]['shard']} diverges from shard 0 "
+                    f"in args of trace event {i} ({ev0['name']!r})")
+        track = tid_to_track[0].get(ev0["tid"], "sim")
+        src = rank_owner.get(track, 0) if page_state_dep else 0
+        ev = dict(streams[src][i])
+        ev["tid"] = parent_tracer._tid(tid_to_track[src].get(ev["tid"],
+                                                             track))
+        merged.append(ev)
+    return merged
+
+
+def run_sharded(config, obs=None, *, shards: int,
+                coalesce_timers: bool = True):
+    """Run one experiment split across ``shards`` worker processes and
+    merge the streams into a single sim-identical
+    :class:`~repro.cluster.experiment.ExperimentResult`.
+
+    Callers normally reach this through
+    :func:`~repro.cluster.experiment.run_experiment` with ``shards>1``."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.cluster.experiment import ExperimentResult
+    from repro.exec.pool import _get_pool, shutdown_pool
+
+    if shards < 2:
+        raise ConfigurationError(
+            f"run_sharded needs at least 2 shards, got {shards}")
+    check_shardable(config, shards)
+    groups = rank_groups(config.nranks, config.procs_per_node, shards)
+    trace_categories = None
+    if obs is not None and obs.tracer.enabled:
+        trace_categories = sorted(obs.tracer.categories)
+    pool = _get_pool(shards)
+    try:
+        futures = [pool.submit(_run_shard, config, i, shards,
+                               coalesce_timers, trace_categories)
+                   for i in range(shards)]
+        outcomes = [f.result() for f in futures]
+    except BrokenProcessPool:
+        # a dead worker poisons the warm pool; drop it so the next
+        # run starts from a fresh one
+        shutdown_pool()
+        raise
+    _verify_outcomes(outcomes)
+    logs: dict = {}
+    for o in outcomes:
+        logs.update(o["logs"])
+    if len(logs) != config.nranks:
+        raise ShardDivergenceError(
+            f"merged logs cover {len(logs)} ranks, expected "
+            f"{config.nranks}: shard ownership is not a partition")
+    if trace_categories is not None:
+        obs.tracer.events.extend(_merge_events(outcomes, obs.tracer))
+    o0 = outcomes[0]
+    if obs is not None and obs.enabled:
+        m = obs.metrics
+        m.gauge("shards.count").set(shards)
+        m.gauge("shards.ranks_per_shard_max").set(max(len(g) for g in groups))
+        m.gauge("shards.barrier_windows").set(len(o0["digests"]))
+        m.counter("shards.cross_msgs").inc(o0["cross_msgs"])
+        m.counter("shards.cross_bytes").inc(o0["cross_bytes"])
+    return ExperimentResult(
+        config=config,
+        logs=logs,
+        init_end_time=o0["init_end_time"],
+        iterations=o0["iterations"],
+        iteration_starts=list(o0["iteration_starts"]),
+        final_time=o0["final_time"],
+    )

@@ -159,41 +159,46 @@ class DirtyPageTracker:
         mem = self.process.memory
         now = self.engine.now
         iws_pages, footprint = mem.data_summary()
-        record = TimesliceRecord(
-            index=index,
-            t_start=self._slice_start,
-            t_end=now,
-            iws_pages=iws_pages,
-            iws_bytes=iws_pages * mem.page_size,
-            footprint_bytes=footprint,
-            faults=self._slice_faults,
-            received_bytes=self._slice_received,
-            overhead_time=self._slice_overhead,
-        )
-        self.log.append(record)
-        for listener in self.slice_listeners:
-            listener(record, self)
+        iws_bytes = iws_pages * mem.page_size
+        faults = self._slice_faults
+        obs = self.engine.obs
+        listeners = self.slice_listeners
+        if listeners or obs.enabled:
+            # slow path: a record object is observable this slice
+            record = TimesliceRecord(
+                index=index, t_start=self._slice_start, t_end=now,
+                iws_pages=iws_pages, iws_bytes=iws_bytes,
+                footprint_bytes=footprint, faults=faults,
+                received_bytes=self._slice_received,
+                overhead_time=self._slice_overhead)
+            self.log.append(record)
+            for listener in listeners:
+                listener(record, self)
+        else:
+            # hot path (the scale bench): columnar append, no dataclass
+            self.log.append_slice(index, self._slice_start, now, iws_pages,
+                                  iws_bytes, footprint, faults,
+                                  self._slice_received, self._slice_overhead)
         protected = mem.reset_and_protect()
         self._slice_start = now
         self._slice_faults = 0
         self._slice_received = 0
         self._slice_overhead = 0.0
         self._charge(protected * self.config.reprotect_cost_per_page)
-        obs = self.engine.obs
         if obs.enabled:
             (_, tracer, ctr_slices, ctr_dirtied, ctr_protected,
              ctr_faults) = self._alarm_obs(obs)
             if tracer is not None:
                 tracer.instant("timeslice", "timeslice", now,
                                track=self._track,
-                               index=index, iws_pages=record.iws_pages,
-                               iws_bytes=record.iws_bytes,
-                               faults=record.faults,
-                               footprint_bytes=record.footprint_bytes)
+                               index=index, iws_pages=iws_pages,
+                               iws_bytes=iws_bytes,
+                               faults=faults,
+                               footprint_bytes=footprint)
             ctr_slices.inc()
-            ctr_dirtied.inc(record.iws_pages)
+            ctr_dirtied.inc(iws_pages)
             ctr_protected.inc(protected)
-            ctr_faults.inc(record.faults)
+            ctr_faults.inc(faults)
             if obs.progress is not None:
                 obs.progress.on_slice(self.log.rank, record, now)
 

@@ -19,7 +19,7 @@ library relies on:
 """
 
 from repro.mem.layout import Layout
-from repro.mem.pagetable import PageTable
+from repro.mem.pagetable import PageTable, PhantomPageTable
 from repro.mem.segment import Segment, SegmentKind
 from repro.mem.address_space import AddressSpace, WriteResult
 
@@ -27,6 +27,7 @@ __all__ = [
     "AddressSpace",
     "Layout",
     "PageTable",
+    "PhantomPageTable",
     "Segment",
     "SegmentKind",
     "WriteResult",

@@ -11,8 +11,7 @@ listeners (the dirty-page tracker) which do the accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, NamedTuple, Optional
 
 import numpy as np
 
@@ -22,9 +21,10 @@ from repro.mem.segment import Segment, SegmentKind
 from repro.units import page_align_up
 
 
-@dataclass(frozen=True)
-class WriteResult:
-    """Outcome of one store operation."""
+class WriteResult(NamedTuple):
+    """Outcome of one store operation.  (A NamedTuple, not a dataclass:
+    one is built per store and the compute phases issue ~10^5 stores per
+    simulated second at full scale.)"""
 
     pages: int     #: pages covered by the store
     faults: int    #: write-protection faults taken (CPU stores only)
@@ -54,7 +54,8 @@ class AddressSpace:
     def __init__(self, layout: Optional[Layout] = None, *,
                  data_size: int = 0, bss_size: int = 0,
                  stack_size: int = 64 * 1024,
-                 store_contents: bool = False):
+                 store_contents: bool = False,
+                 phantom: bool = False):
         self.layout = layout or Layout()
         ps = self.layout.page_size
         self._version = 0
@@ -63,24 +64,28 @@ class AddressSpace:
         #: Off by default -- the paper's metrics need only page versions,
         #: and signatures keep full-scale footprints cheap.
         self.store_contents = store_contents
+        #: phantom address spaces (ranks owned by another shard) carry
+        #: O(1) no-op page state in every segment; see PhantomPageTable
+        self.phantom = phantom
 
         self.text = Segment(SegmentKind.TEXT, self.layout.text_base,
-                            page_align_up(self.layout.text_size, ps), ps)
+                            page_align_up(self.layout.text_size, ps), ps,
+                            phantom=phantom)
         self.data = Segment(SegmentKind.DATA, self.layout.data_base,
                             page_align_up(data_size, ps), ps,
-                            store_contents=store_contents)
+                            store_contents=store_contents, phantom=phantom)
         self.bss = Segment(SegmentKind.BSS, self.data.end,
                            page_align_up(bss_size, ps), ps,
-                           store_contents=store_contents)
+                           store_contents=store_contents, phantom=phantom)
         # the heap starts empty, immediately after the BSS
         self.heap = Segment(SegmentKind.HEAP, self.bss.end, 0, ps,
-                            store_contents=store_contents)
+                            store_contents=store_contents, phantom=phantom)
         stack_size = page_align_up(stack_size, ps)
         if stack_size > self.layout.max_stack:
             raise MappingError(
                 f"stack size {stack_size} exceeds limit {self.layout.max_stack}")
         self.stack = Segment(SegmentKind.STACK, self.layout.stack_top - stack_size,
-                             stack_size, ps)
+                             stack_size, ps, phantom=phantom)
 
         #: mmap'ed segments, keyed by base address
         self._mmaps: dict[int, Segment] = {}
@@ -228,7 +233,8 @@ class AddressSpace:
 
     def cpu_write_pages(self, seg: Segment, lo: int, hi: int) -> WriteResult:
         """Fast path: CPU store covering pages ``[lo, hi)`` of ``seg``."""
-        faults = seg.pages.cpu_write(lo, hi, self._next_version())
+        self._version = version = self._version + 1
+        faults = seg.pages.cpu_write(lo, hi, version)
         if seg.kind is SegmentKind.STACK:
             if self._stack_low_page is None or lo < self._stack_low_page:
                 self._stack_low_page = lo
@@ -314,7 +320,8 @@ class AddressSpace:
         base = self._find_mmap_gap(size)
         seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
                       name=name or f"mmap@{base:#x}",
-                      store_contents=self.store_contents)
+                      store_contents=self.store_contents,
+                      phantom=self.phantom)
         self._mmaps[base] = seg
         self._invalidate_caches()
         for listener in self.map_listeners:
@@ -340,7 +347,8 @@ class AddressSpace:
                 f"fixed mapping at {base:#x} overlaps {conflict!r}")
         seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
                       name=name or f"mmap@{base:#x}",
-                      store_contents=self.store_contents)
+                      store_contents=self.store_contents,
+                      phantom=self.phantom)
         self._mmaps[base] = seg
         self._invalidate_caches()
         for listener in self.map_listeners:

@@ -37,7 +37,7 @@ class PageTable:
 
     __slots__ = ("npages", "protected", "dirty", "versions",
                  "_capacity", "_protected_buf", "_dirty_buf", "_versions_buf",
-                 "_ndirty", "_dirty_overlap", "_all_protected")
+                 "_ndirty", "_dirty_overlap", "_all_protected", "_hwm")
 
     def __init__(self, npages: int):
         if npages < 0:
@@ -70,6 +70,9 @@ class PageTable:
         self._protected_buf = protected
         self._dirty_buf = dirty
         self._versions_buf = versions
+        #: high-water mark: buffer pages at index >= _hwm have never held
+        #: state since this allocation, so re-exposing them needs no wipe
+        self._hwm = preserve
         self._reslice()
 
     def _reslice(self) -> None:
@@ -87,7 +90,8 @@ class PageTable:
         Protected pages fault: they are marked dirty and unprotected (the
         SEGV handler's action).  Returns the number of faults taken.
         """
-        self._check_range(lo, hi)
+        if not 0 <= lo <= hi <= self.npages:
+            self._check_range(lo, hi)  # raises with the full message
         sl = slice(lo, hi)
         if self._all_protected and not self._dirty_overlap and lo < hi:
             # first store after a full re-protect sweep: every page in
@@ -201,8 +205,11 @@ class PageTable:
         and at version 0 (zero-filled by the kernel).
 
         Shrinking just narrows the views; growing back within capacity
-        zeroes the re-exposed tail, so state dropped by a shrink never
-        resurfaces.  Growth past capacity reallocates geometrically.
+        wipes only the re-exposed range that ever held state (tracked by
+        a high-water mark), so state dropped by a shrink never resurfaces
+        and the brk shrink-then-regrow cycle costs O(pages moved), never
+        O(table) and never a buffer copy.  Growth past capacity
+        reallocates geometrically.
         """
         if npages < 0:
             raise MappingError(f"negative page count: {npages}")
@@ -213,15 +220,25 @@ class PageTable:
             # geometric over-allocation: amortized O(1) per added page
             self._allocate(max(npages, 2 * self._capacity, 8), preserve=old)
         elif npages > old:
-            # re-expose pages within capacity: wipe any stale tail state
-            self._protected_buf[old:npages] = False
-            self._dirty_buf[old:npages] = False
-            self._versions_buf[old:npages] = 0
+            # re-expose pages within capacity: wipe stale tail state, but
+            # only up to the high-water mark -- beyond it the buffers are
+            # still in their freshly-allocated all-zero state
+            wipe_hi = min(npages, self._hwm)
+            if old < wipe_hi:
+                self._protected_buf[old:wipe_hi] = False
+                self._dirty_buf[old:wipe_hi] = False
+                self._versions_buf[old:wipe_hi] = 0
+        if npages > self._hwm:
+            # every exposed page may come to hold state
+            self._hwm = npages
         self.npages = npages
         self._reslice()
         if npages < old:
-            # dropped pages may have been dirty: recount the survivors
-            self._ndirty = int(np.count_nonzero(self.dirty))
+            # dropped pages may have been dirty: subtract exactly those
+            # (O(pages dropped), not a recount of the whole table)
+            if self._ndirty:
+                self._ndirty -= int(
+                    np.count_nonzero(self._dirty_buf[npages:old]))
         else:
             # new pages arrive unprotected
             self._all_protected = False
@@ -250,3 +267,101 @@ class PageTable:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<PageTable npages={self.npages} dirty={self.dirty_count()} "
                 f"protected={int(np.count_nonzero(self.protected))}>")
+
+
+class PhantomPageTable:
+    """O(1) stand-in for a rank simulated by *another* shard.
+
+    A sharded run replicates the full event skeleton in every worker but
+    keeps real page state only for the ranks the worker owns; remote
+    ranks carry a phantom table.  Every operation is a constant-time
+    no-op: stores take no faults, nothing is ever dirty, and the alarm's
+    re-protect sweep skips the segment via the ``_ndirty == 0`` /
+    ``_all_protected`` fast flags -- so a worker pays the page-state cost
+    of only its own rank group.
+
+    Valid only when simulated *timing* is independent of page state:
+    no overhead charging, no checkpoint capture, receive interception on
+    (enforced by the shard runner).  Asking a phantom for content state
+    (``protected`` / ``dirty`` / ``versions``) raises, so any accidental
+    use outside that envelope fails loudly instead of silently lying.
+    """
+
+    __slots__ = ("npages",)
+
+    #: class-level constants: the alarm sweep reads these attributes
+    _ndirty = 0
+    _dirty_overlap = False
+    _all_protected = True
+
+    def __init__(self, npages: int):
+        if npages < 0:
+            raise MappingError(f"negative page count: {npages}")
+        self.npages = npages
+
+    def _no_state(self):
+        raise MappingError(
+            "phantom page table has no page state (rank owned by another "
+            "shard)")
+
+    protected = property(_no_state)
+    dirty = property(_no_state)
+    versions = property(_no_state)
+
+    def cpu_write(self, lo: int, hi: int, version: int) -> int:
+        """A CPU store: no state, no faults."""
+        self._check_range(lo, hi)
+        return 0
+
+    def dma_write(self, lo: int, hi: int, version: int) -> int:
+        """A device store: no state, nothing missed."""
+        self._check_range(lo, hi)
+        return 0
+
+    def protect_all(self) -> None:
+        """No-op (phantoms are permanently 'all protected')."""
+
+    def protect_range(self, lo: int, hi: int, value: bool = True) -> None:
+        """No-op beyond bounds checking."""
+        self._check_range(lo, hi)
+
+    def unprotect_all(self) -> None:
+        """No-op."""
+
+    def any_protected(self, lo: int, hi: int) -> bool:
+        """Always False: nothing faults and DMA never conflicts."""
+        self._check_range(lo, hi)
+        return False
+
+    def dirty_count(self) -> int:
+        """Always zero."""
+        return 0
+
+    def dirty_indices(self) -> np.ndarray:
+        """Always empty."""
+        return np.zeros(0, dtype=np.int64)
+
+    def reset_dirty(self) -> None:
+        """No-op."""
+
+    def resize(self, npages: int) -> None:
+        """Track the new size (geometry must stay exact for bounds
+        checks and footprint totals); no state to carry or wipe."""
+        if npages < 0:
+            raise MappingError(f"negative page count: {npages}")
+        self.npages = npages
+
+    def split(self, at: int) -> "PhantomPageTable":
+        """Split off pages ``[at, npages)`` into a new phantom."""
+        self._check_range(at, self.npages)
+        tail = PhantomPageTable(self.npages - at)
+        self.npages = at
+        return tail
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi <= self.npages):
+            raise MappingError(
+                f"page range [{lo}, {hi}) outside table of {self.npages} pages")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PhantomPageTable npages={self.npages}>"

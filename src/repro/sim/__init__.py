@@ -22,13 +22,14 @@ experiment is exactly reproducible.
 from repro.sim.engine import Engine, Event, PRIORITY_TIMER, PRIORITY_NORMAL, PRIORITY_LATE
 from repro.sim.process import Future, SimProcess, Timeout, all_of
 from repro.sim.random import RngStreams
-from repro.sim.timers import IntervalTimer
+from repro.sim.timers import IntervalTimer, TimerHub
 
 __all__ = [
     "Engine",
     "Event",
     "Future",
     "IntervalTimer",
+    "TimerHub",
     "PRIORITY_LATE",
     "PRIORITY_NORMAL",
     "PRIORITY_TIMER",

@@ -41,6 +41,13 @@ PRIORITY_LATE: int = 100
 #: Compact the heap only past this size (tiny heaps are not worth it).
 _COMPACT_MIN: int = 64
 
+#: Default for :class:`Engine`'s ``coalesce_timers``: co-phased interval
+#: timers share one queued event per epoch (see
+#: :class:`repro.sim.timers.TimerHub`).  The per-timer seed path remains
+#: available with ``Engine(coalesce_timers=False)`` and is held to the
+#: same event stream by the differential suite.
+COALESCE_TIMERS_DEFAULT: bool = True
+
 
 class Event:
     """A scheduled callback.
@@ -100,8 +107,17 @@ class Engine:
     events.
     """
 
-    def __init__(self, start_time: float = 0.0, obs=None):
+    def __init__(self, start_time: float = 0.0, obs=None,
+                 coalesce_timers: Optional[bool] = None):
         self._now = float(start_time)
+        #: when True, :class:`~repro.sim.timers.IntervalTimer` expiries
+        #: are batched through a :class:`~repro.sim.timers.TimerHub`
+        #: (one queued event per co-phased timer group per epoch)
+        self.coalesce_timers = (COALESCE_TIMERS_DEFAULT
+                                if coalesce_timers is None
+                                else bool(coalesce_timers))
+        #: lazily created by the first coalesced IntervalTimer
+        self.timer_hub = None
         #: heap of (time, priority, seq, Event) -- C-level tuple ordering
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()

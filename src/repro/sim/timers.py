@@ -5,6 +5,15 @@ The paper's instrumentation library arms a periodic alarm; each expiry
 re-protects the data memory.  :class:`IntervalTimer` reproduces that: a
 periodic callback with a queryable *next expiry time*, which the
 alarm-sliced compute phases use to stop exactly at timeslice boundaries.
+
+At scale the per-rank expiries dominate the event queue: 1024 ranks at a
+1 s timeslice contribute 1024 heap pushes + pops + dispatches per epoch,
+all at the same instant and priority.  :class:`TimerHub` coalesces them:
+timers sharing an ``(interval, next expiry)`` group are swept by **one**
+queued engine event per epoch, in enrollment order -- which equals the
+per-timer path's sequence order, so the simulation is bit-identical
+(asserted by the differential suite in
+``tests/instrument/test_coalesced_differential.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +24,114 @@ from repro.errors import SignalError
 from repro.sim.engine import Engine, Event, PRIORITY_TIMER
 
 
+class TimerHub:
+    """Coalesces co-phased :class:`IntervalTimer` expiries.
+
+    Timers are grouped by ``(interval, next_expiry)``.  A group owns one
+    queued engine event; firing it sweeps the members in enrollment
+    order, advancing and re-enrolling each *before* its handler runs --
+    the exact operation order of the per-timer path, so sequence-number
+    ties resolve identically and the event stream is unchanged.
+
+    Ordering note: members of one group re-arm contiguously, so a
+    group's next event takes the sequence slot the per-timer path would
+    have given its first member.  Timer populations whose arms
+    *interleave* across different ``(interval, phase)`` groups would be
+    swept group-by-group rather than in global arm order; no such
+    population exists in this codebase (every tracker of a run shares
+    the one checkpoint timeslice), and each path is individually
+    deterministic either way.
+
+    After every group sweep the hub calls its ``epoch_listeners`` --
+    still inside the same engine event, after the last co-scheduled
+    member.  The checkpoint engine uses this seam to submit the epoch's
+    checkpoint pieces as one batch.
+    """
+
+    __slots__ = ("engine", "_groups", "epoch_listeners",
+                 "epochs", "expiries_swept", "max_group")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        #: (interval, next_time) -> _TimerGroup
+        self._groups: dict[tuple[float, float], _TimerGroup] = {}
+        #: called with no arguments after each group sweep completes
+        self.epoch_listeners: list[Callable[[], Any]] = []
+        # lifetime counters (surfaced by Engine.stats / the scale bench)
+        self.epochs = 0
+        self.expiries_swept = 0
+        self.max_group = 0
+
+    # -- membership --------------------------------------------------------
+
+    def _enroll(self, timer: "IntervalTimer") -> None:
+        key = (timer.interval, timer._next_time)
+        group = self._groups.get(key)
+        if group is None:
+            group = _TimerGroup(key)
+            self._groups[key] = group
+            group.event = self.engine.schedule_at(
+                timer._next_time, self._fire_group, group,
+                priority=PRIORITY_TIMER)
+        group.members.append(timer)
+        group.live += 1
+        timer._group = group
+
+    def _withdraw(self, timer: "IntervalTimer") -> None:
+        group = timer._group
+        if group is None:
+            return
+        timer._group = None
+        group.live -= 1
+        if group.live == 0 and group.event is not None:
+            group.event.cancel()
+            group.event = None
+            self._groups.pop(group.key, None)
+
+    # -- firing ------------------------------------------------------------
+
+    def _fire_group(self, group: "_TimerGroup") -> None:
+        self._groups.pop(group.key, None)
+        group.event = None
+        self.epochs += 1
+        members = group.members
+        if len(members) > self.max_group:
+            self.max_group = len(members)
+        for timer in members:
+            if timer._group is not group:
+                continue                    # cancelled or reset mid-epoch
+            timer._group = None
+            self.expiries_swept += 1
+            index = timer.expiries
+            timer.expiries += 1
+            timer._next_time += timer.interval
+            self._enroll(timer)             # re-arm before handler, as the
+            timer.handler(index)            # per-timer path does
+        group.members = ()
+        group.live = 0
+        if self.epoch_listeners:
+            for listener in self.epoch_listeners:
+                listener()
+
+    def stats(self) -> dict:
+        """Lifetime sweep counters (epochs fired, expiries swept, and
+        the largest group observed)."""
+        return {"epochs": self.epochs, "expiries_swept": self.expiries_swept,
+                "max_group": self.max_group}
+
+
+class _TimerGroup:
+    """One coalesced expiry: the timers sharing an (interval, time) key."""
+
+    __slots__ = ("key", "members", "live", "event")
+
+    def __init__(self, key: tuple[float, float]):
+        self.key = key
+        self.members: list = []
+        self.live = 0
+        self.event: Optional[Event] = None
+
+
 class IntervalTimer:
     """A periodic timer firing ``handler(expiry_index)`` every ``interval``.
 
@@ -22,6 +139,10 @@ class IntervalTimer:
     any process wake-up scheduled at the same instant -- matching the
     paper's requirement that the alarm samples the dirty pages written
     *before* the boundary.
+
+    When the engine has ``coalesce_timers`` set (the default), expiries
+    are delivered through the engine's shared :class:`TimerHub` instead
+    of a per-timer queued event; behaviour and ordering are identical.
     """
 
     def __init__(self, engine: Engine, interval: float,
@@ -36,14 +157,25 @@ class IntervalTimer:
         self.expiries = 0
         self._armed = False
         self._event: Optional[Event] = None
+        self._group: Optional[_TimerGroup] = None
+        if engine.coalesce_timers:
+            hub = engine.timer_hub
+            if hub is None:
+                hub = engine.timer_hub = TimerHub(engine)
+            self._hub: Optional[TimerHub] = hub
+        else:
+            self._hub = None
         self._next_time = engine.now + (self.interval if start_after is None
                                         else float(start_after))
         self._arm()
 
     def _arm(self) -> None:
         self._armed = True
-        self._event = self.engine.schedule_at(
-            self._next_time, self._fire, priority=PRIORITY_TIMER)
+        if self._hub is not None:
+            self._hub._enroll(self)
+        else:
+            self._event = self.engine.schedule_at(
+                self._next_time, self._fire, priority=PRIORITY_TIMER)
 
     def _fire(self) -> None:
         if not self._armed:
@@ -65,7 +197,9 @@ class IntervalTimer:
     def cancel(self) -> None:
         """Disarm the timer; pending expiry is dropped."""
         self._armed = False
-        if self._event is not None:
+        if self._hub is not None:
+            self._hub._withdraw(self)
+        elif self._event is not None:
             self._event.cancel()
             self._event = None
 

@@ -8,7 +8,11 @@ any gated metric regressed by more than the tolerance:
 - **sweep** cold-serial / cold-parallel / warm-cache times (higher is
   a regression), plus the hard requirement that
   ``bit_identical_across_modes`` is still true;
-- **fig5** 64-rank row time (higher is a regression).
+- **fig5** 64-rank row time (higher is a regression);
+- **scale** large-rank row time (higher is a regression) and its
+  per-rank throughput gain over the naive 64-rank extrapolation
+  (lower is a regression -- both sides are measured in the same
+  session, so the ratio is drift-immune).
 
 Usage::
 
@@ -37,6 +41,8 @@ GATED_METRICS = {
     ("sweep", "parallel_cold_s"): False,
     ("sweep", "warm_cache_s"): False,
     ("fig5", "row_s"): False,
+    ("scale", "row_s"): False,
+    ("scale", "per_rank_throughput_gain"): True,
 }
 
 
