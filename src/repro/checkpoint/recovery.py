@@ -16,9 +16,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.checkpoint.snapshot import Checkpoint, SegmentRecord
-from repro.errors import RecoveryError
+from repro.errors import CorruptionError, RecoveryError
 from repro.mem import AddressSpace, Layout, SegmentKind
 from repro.storage import CheckpointStore
+from repro.storage.integrity import ChainVerification, verify_chain
 
 
 def replay_chain(chain: Sequence[Checkpoint]) \
@@ -137,10 +138,14 @@ def apply_chain(memory: AddressSpace, chain: Sequence[Checkpoint],
 
     Used by restart-in-place: the application re-allocates its (fully
     deterministic) geometry, then the checkpointed page versions are
-    stamped over it.  With ``strict`` the geometries must match exactly
-    -- a mismatch means the checkpoint was taken with a different memory
-    layout (e.g. while transient allocations were live) and restoring it
-    in place would corrupt state.
+    stamped over it.  With ``strict`` the static geometries must match
+    exactly -- a data/bss/heap mismatch means the checkpoint was taken
+    with a different memory layout and restoring it in place would
+    corrupt state.  Chain *mmap* segments the live process lacks are
+    recreated at their recorded addresses (MAP_FIXED, like a real
+    restore): checkpoints taken while transient allocations were live
+    restore those allocations too, which is what makes the restored
+    address space bit-identical to the captured one.
     """
     state = replay_chain(chain)
     by_key = {(rec.kind, rec.base): (rec, versions, content)
@@ -170,20 +175,39 @@ def apply_chain(memory: AddressSpace, chain: Sequence[Checkpoint],
     if strict:
         missing = set(by_key) - live_keys
         missing = {k for k in missing if by_key[k][0].npages > 0}
-        if missing:
+        static_missing = {k for k in missing if k[0] != "mmap"}
+        if static_missing:
             raise RecoveryError(
                 f"checkpoint chain has segments the live process lacks: "
-                f"{sorted(missing)}")
+                f"{sorted(static_missing)}")
+        for kind, base in sorted(missing):
+            rec, versions, content = by_key[(kind, base)]
+            seg = memory.mmap_fixed(base, rec.npages * memory.page_size)
+            seg.pages.versions[:] = versions
+            if content is not None and seg.contents is not None:
+                seg.contents[:] = content.tobytes()
+            if len(versions):
+                max_version = max(max_version, int(versions.max()))
     memory._version = max_version
 
 
 class RecoveryManager:
-    """Recovery over a :class:`~repro.storage.CheckpointStore`."""
+    """Recovery over a :class:`~repro.storage.CheckpointStore`.
+
+    With ``verify_integrity`` (the default) every chain read recomputes
+    piece digests and chain links before a single byte is trusted: a
+    silently corrupted, truncated, or dropped piece raises
+    :class:`~repro.errors.CorruptionError` instead of restoring garbage.
+    :meth:`best_recovery_seq` implements the walk-back policy on top --
+    the newest committed sequence whose every rank chain verifies.
+    """
 
     def __init__(self, store: CheckpointStore,
-                 layout: Optional[Layout] = None):
+                 layout: Optional[Layout] = None, *,
+                 verify_integrity: bool = True):
         self.store = store
         self.layout = layout
+        self.verify_integrity = verify_integrity
 
     def recovery_chain(self, rank: int,
                        seq: Optional[int] = None) -> list[Checkpoint]:
@@ -196,10 +220,42 @@ class RecoveryManager:
         pieces = self.store.chain(rank, upto_seq=seq)
         if not pieces:
             raise RecoveryError(f"rank {rank} has no recoverable chain")
+        if self.verify_integrity:
+            # the commit invariant guarantees a piece at every committed
+            # sequence, so a clean chain stopping short of one means the
+            # target piece was silently dropped
+            require = (seq if seq in self.store.committed_sequences()
+                       else None)
+            outcome = verify_chain(rank, pieces, target_seq=seq,
+                                   require_seq=require)
+            if not outcome.intact:
+                bad = outcome.first_bad
+                raise CorruptionError(
+                    f"rank {rank} cannot recover to seq {seq}: "
+                    f"piece seq {bad.seq} {bad.reason} (intact prefix ends "
+                    f"at {outcome.verified_upto})")
         chain = [p.payload for p in pieces]
         if any(c is None for c in chain):
             raise RecoveryError("stored pieces are missing checkpoint payloads")
         return chain
+
+    def verify_all(self, seq: Optional[int] = None) -> list[ChainVerification]:
+        """Verify every rank's chain up to ``seq`` (default: latest
+        stored); outcomes, never exceptions -- the scan behind
+        ``repro ckpt verify``."""
+        return [self.store.verify_chain(rank, upto_seq=seq)
+                for rank in range(self.store.nranks)]
+
+    def best_recovery_seq(self) -> Optional[int]:
+        """The newest committed sequence every rank's chain verifies to
+        -- where corruption-aware recovery actually goes.  None when no
+        committed checkpoint survives intact (restart from scratch)."""
+        for seq in reversed(self.store.committed_sequences()):
+            if all(self.store.verify_chain(rank, upto_seq=seq,
+                                           require_seq=seq).intact
+                   for rank in range(self.store.nranks)):
+                return seq
+        return None
 
     def restore_rank(self, rank: int,
                      seq: Optional[int] = None) -> AddressSpace:
@@ -215,12 +271,24 @@ class RecoveryManager:
 
     def estimated_restore_time(self, rank: int, read_bandwidth: float,
                                seq: Optional[int] = None,
-                               seek_latency: float = 4.7e-3) -> float:
+                               seek_latency: float = 4.7e-3,
+                               verify_bandwidth: Optional[float] = None,
+                               ) -> float:
         """How long reading this rank's recovery chain from stable
         storage takes: one sequential read per chain piece.  Feeds the
-        availability model's restart-time parameter."""
+        availability model's restart-time parameter.
+
+        ``verify_bandwidth`` additionally charges one digest
+        recomputation pass over every byte read (integrity-checked
+        restore); None keeps the cost identical to an unverified read.
+        """
         if read_bandwidth <= 0:
             raise RecoveryError("read bandwidth must be positive")
         chain = self.recovery_chain(rank, seq)
-        return sum(seek_latency + ckpt.nbytes / read_bandwidth
-                   for ckpt in chain)
+        total = sum(seek_latency + ckpt.nbytes / read_bandwidth
+                    for ckpt in chain)
+        if verify_bandwidth is not None:
+            if verify_bandwidth <= 0:
+                raise RecoveryError("verify bandwidth must be positive")
+            total += sum(ckpt.nbytes / verify_bandwidth for ckpt in chain)
+        return total

@@ -61,10 +61,12 @@ def make_resume_body(app: ScientificApplication,
 class RestartCoordinator:
     """Rebuilds and relaunches a job from a checkpoint store."""
 
-    def __init__(self, store: CheckpointStore, app: ScientificApplication):
+    def __init__(self, store: CheckpointStore, app: ScientificApplication,
+                 *, verify_integrity: bool = True):
         self.store = store
         self.app = app
-        self.recovery = RecoveryManager(store, layout=app.layout)
+        self.recovery = RecoveryManager(store, layout=app.layout,
+                                        verify_integrity=verify_integrity)
 
     def restart(self, engine: Engine, *, nranks: Optional[int] = None,
                 seq: Optional[int] = None, name: str = "restart",

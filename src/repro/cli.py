@@ -18,6 +18,15 @@ Commands:
     Fault-injection experiment: run under a seeded stochastic or
     explicit fault plan, recover from the checkpoint chain, and report
     lost-work/downtime/availability against the Young/Daly model.
+    ``--corrupt KIND@TIME:RANK[:SEQ]`` adds silent store corruption
+    (flip/truncate/drop) on top of -- or instead of -- the crash plan;
+    integrity verification detects it at recovery time and walks the
+    rollback past the poisoned checkpoint.
+``ckpt verify``
+    Verify an archived checkpoint store file (written with
+    ``run --store-out``): recompute every piece digest, check every
+    chain link, and report -- a mangled file yields a report, never a
+    crash.
 ``obs view``
     Summarize a trace file written with ``--trace-out`` (span totals,
     instant counts, burst structure) without re-running anything.
@@ -145,6 +154,10 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--ckpt-full-every", type=_positive_int, default=4,
                      help="full checkpoint every N captures (with "
                           "--ckpt-transport)")
+    run.add_argument("--store-out", metavar="FILE", default=None,
+                     help="archive the final checkpoint store to FILE "
+                          "(verifiable with 'ckpt verify'; needs "
+                          "--ckpt-transport)")
     _add_obs_flags(run)
 
     sweep = sub.add_parser("sweep", help="IB vs timeslice for one app")
@@ -201,12 +214,27 @@ def _parser() -> argparse.ArgumentParser:
     frun.add_argument("--timeslice", type=_positive_float, default=1.0)
     frun.add_argument("--duration", type=_positive_float, default=None,
                       help="simulated seconds after initialization")
-    src = frun.add_mutually_exclusive_group(required=True)
+    src = frun.add_mutually_exclusive_group()
     src.add_argument("--mtbf", type=_positive_float, default=None,
                      help="per-node mean time between failures, seconds "
                           "(seeded stochastic plan)")
     src.add_argument("--plan", metavar="FILE", default=None,
                      help="explicit JSON fault plan")
+    frun.add_argument("--corrupt", metavar="KIND@TIME:RANK[:SEQ]",
+                      action="append", default=None,
+                      help="inject silent store corruption: KIND is "
+                           "flip, truncate, or drop; SEQ picks the "
+                           "stored piece (default: newest at TIME); "
+                           "repeatable")
+    frun.add_argument("--no-verify-integrity", action="store_true",
+                      help="trust checkpoint chains without digest "
+                           "verification (the pre-integrity behaviour: "
+                           "corruption restores garbage)")
+    frun.add_argument("--integrity-bandwidth", type=_positive_float,
+                      default=None, metavar="BPS",
+                      help="charge digest recomputation at this "
+                           "bandwidth into restore time (default: "
+                           "uncharged)")
     frun.add_argument("--seed", type=int, default=0,
                       help="stochastic plan seed (same seed, same plan)")
     frun.add_argument("--model", choices=("exponential", "weibull"),
@@ -229,6 +257,16 @@ def _parser() -> argparse.ArgumentParser:
                       help="checkpoint data path (default: estimate, "
                            "the flat-duration sink writes)")
     _add_obs_flags(frun)
+
+    ckpt = sub.add_parser("ckpt", help="checkpoint store utilities")
+    csub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    cver = csub.add_parser("verify",
+                           help="verify an archived checkpoint store "
+                                "(digests + chain links)")
+    cver.add_argument("store", metavar="FILE",
+                      help="archive written with 'run --store-out'")
+    cver.add_argument("--json", action="store_true",
+                      help="machine-readable report")
 
     obs = sub.add_parser("obs", help="observability utilities")
     osub = obs.add_subparsers(dest="obs_command", required=True)
@@ -293,6 +331,15 @@ def cmd_run(args, out) -> int:
         from repro.trace import save_traces
         paths = save_traces(result.logs, args.save_trace)
         print(f"saved {len(paths)} traces under {args.save_trace}", file=out)
+    if args.store_out:
+        if result.ckpt is None:
+            print("--store-out needs --ckpt-transport (no checkpoint "
+                  "store to archive)", file=sys.stderr)
+            return 2
+        from repro.storage.archive import save_store
+        path = save_store(result.ckpt.store, args.store_out)
+        print(f"checkpoint store archived to {path} "
+              f"({result.ckpt.store.count()} piece(s))", file=out)
     return 0
 
 
@@ -346,6 +393,55 @@ def cmd_feasibility(args, out) -> int:
     return 0
 
 
+def _parse_corrupt_spec(spec: str):
+    """``KIND@TIME:RANK[:SEQ]`` -> a corruption FaultEvent."""
+    from repro.faults import FaultEvent, FaultKind
+    try:
+        kind_text, rest = spec.split("@", 1)
+        kind = FaultKind(kind_text.strip().lower())
+        parts = rest.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError("expected TIME:RANK or TIME:RANK:SEQ")
+        time, rank = float(parts[0]), int(parts[1])
+        seq = int(parts[2]) if len(parts) == 3 else None
+    except ValueError as exc:
+        raise ValueError(f"{spec!r}: {exc}") from exc
+    if not kind.corrupting:
+        raise ValueError(
+            f"{spec!r}: {kind.value} is not a corruption kind "
+            f"(use flip, truncate, or drop)")
+    return FaultEvent(time=time, kind=kind, rank=rank, seq=seq)
+
+
+def cmd_ckpt_verify(args, out) -> int:
+    """``ckpt verify``: scan an archived store; exit 0 when every piece
+    and chain verifies, 1 on corruption, 2 on an unreadable file."""
+    from repro.storage.archive import scan_store
+    try:
+        report = scan_store(args.store)
+    except OSError as exc:
+        print(f"cannot read {args.store}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps({
+            "path": report.path,
+            "ok": report.ok,
+            "error": report.error,
+            "nranks": report.nranks,
+            "committed": list(report.committed),
+            "pieces": [{"index": p.index, "status": p.status,
+                        "rank": p.rank, "seq": p.seq, "kind": p.kind,
+                        "detail": p.detail} for p in report.pieces],
+            "chain_problems": list(report.chain_problems),
+        }, indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    if report.error is not None:
+        return 2
+    return 0 if report.ok else 1
+
+
 def cmd_faults_run(args, out) -> int:
     """``faults run``: one fault-injection experiment with recovery."""
     from repro.errors import FaultPlanError
@@ -356,6 +452,10 @@ def cmd_faults_run(args, out) -> int:
     config = paper_config(args.app, nranks=args.ranks,
                           timeslice=args.timeslice,
                           run_duration=args.duration)
+    if args.mtbf is None and args.plan is None and not args.corrupt:
+        print("need a fault source: --mtbf, --plan, or --corrupt",
+              file=sys.stderr)
+        return 2
     if args.plan is not None:
         try:
             plan = FaultPlan.from_file(args.plan)
@@ -363,7 +463,7 @@ def cmd_faults_run(args, out) -> int:
         except FaultPlanError as exc:
             print(f"bad fault plan: {exc}", file=sys.stderr)
             return 2
-    else:
+    elif args.mtbf is not None:
         from repro.apps.registry import default_run_duration
         duration = (args.duration if args.duration is not None
                     else default_run_duration(config.spec))
@@ -378,12 +478,25 @@ def cmd_faults_run(args, out) -> int:
             plan = FaultPlan.exponential(args.mtbf, args.ranks, horizon,
                                          seed=args.seed,
                                          max_faults=args.max_faults)
+    else:
+        plan = FaultPlan.none()
+    if args.corrupt:
+        try:
+            corruptions = [_parse_corrupt_spec(spec)
+                           for spec in args.corrupt]
+            plan = FaultPlan(list(plan.events) + corruptions)
+            plan.validate_for(args.ranks)
+        except (FaultPlanError, ValueError) as exc:
+            print(f"bad --corrupt spec: {exc}", file=sys.stderr)
+            return 2
     obs = _make_obs(args)
     result = run_with_failures(config, plan,
                                interval_slices=args.interval,
                                full_every=args.full_every,
                                detection_latency=args.detect_latency,
                                verify=not args.no_verify,
+                               verify_integrity=not args.no_verify_integrity,
+                               integrity_bandwidth=args.integrity_bandwidth,
                                ckpt_transport=args.ckpt_transport,
                                obs=obs)
     _finish_obs(obs, args, out)
@@ -399,6 +512,23 @@ def cmd_faults_run(args, out) -> int:
               f"{','.join(map(str, rec.victims))}: rolled back to {target}, "
               f"lost {rec.lost_work:.2f}s, down {rec.downtime:.2f}s",
               file=out)
+    for c in result.corruptions:
+        print(f"  integrity: life {c.life} rank {c.rank} seq {c.seq} "
+              f"{c.reason} -- rejected committed seq {c.rejected_seq}",
+              file=out)
+    if any(e.kind.corrupting for e in plan):
+        bad = []
+        for life in result.lives:
+            latest = life.store.latest_committed()
+            if latest is None:
+                continue
+            for rank in range(args.ranks):
+                o = life.store.verify_chain(rank, upto_seq=latest,
+                                            require_seq=latest)
+                if not o.intact:
+                    bad.append(f"life {life.index} {o.summary()}")
+        state = "all committed chains intact" if not bad else "; ".join(bad)
+        print(f"integrity scan: {state}", file=out)
     print(metrics.as_row(), file=out)
     cost = result.mean_commit_latency()
     if args.mtbf is not None and cost is not None and result.failures:
@@ -460,6 +590,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
     if args.command == "faults":
         return cmd_faults_run(args, out)
+    if args.command == "ckpt":
+        return cmd_ckpt_verify(args, out)
     if args.command == "obs":
         return cmd_obs_view(args, out)
     if args.command == "validate":

@@ -114,6 +114,11 @@ class RecoveryError(CheckpointError):
     """Rollback recovery could not reconstruct a consistent state."""
 
 
+class CorruptionError(RecoveryError):
+    """Integrity verification found a silently corrupted checkpoint piece
+    (digest mismatch, broken chain link, or a dropped piece)."""
+
+
 class StorageError(ReproError):
     """Errors in the stable-storage model."""
 

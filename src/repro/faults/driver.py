@@ -9,9 +9,16 @@ lands it
 1. stops the virtual clock at the failure instant (the injector calls
    :meth:`~repro.sim.Engine.stop`),
 2. finds the newest *committed* global checkpoint across all previous
-   lives and rolls every rank back to it
+   lives whose every rank chain passes integrity verification, and
+   rolls every rank back to it
    (:class:`~repro.checkpoint.RecoveryManager` /
-   :class:`~repro.checkpoint.RestartCoordinator`),
+   :class:`~repro.checkpoint.RestartCoordinator`).  A silently
+   corrupted piece (bit flips, torn writes, dropped objects -- the
+   FLIP/TRUNCATE/DROP fault kinds) is detected here: the poisoned
+   committed sequence is rejected with a
+   :class:`~repro.metrics.failures.CorruptionDetected` record and
+   recovery *walks back* to the newest older intact one, or restarts
+   from scratch when nothing verifies,
 3. charges detection latency + chain-read restore time as downtime and
    the recomputation window as lost work
    (:class:`~repro.metrics.failures.FailureRecord`),
@@ -44,7 +51,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.instrument import InstrumentationLibrary, TraceLog, TrackerConfig
 from repro.mem import AddressSpace, Layout
-from repro.metrics.failures import FailureRecord, FaultRunMetrics
+from repro.metrics.failures import (CorruptionDetected, FailureRecord,
+                                    FaultRunMetrics)
 from repro.mpi import MPIJob
 from repro.sim import Engine
 from repro.storage import CheckpointStore
@@ -83,6 +91,8 @@ class FaultRunResult:
     plan: FaultPlan
     lives: list[LifeResult]
     failures: list[FailureRecord]
+    #: chains that failed integrity verification during recovery scans
+    corruptions: list[CorruptionDetected] = field(default_factory=list)
     #: per failure: the restored address-space signatures {rank: sig}
     restored_signatures: list[dict[int, dict]] = field(repr=False,
                                                        default_factory=list)
@@ -91,7 +101,8 @@ class FaultRunResult:
     @property
     def metrics(self) -> FaultRunMetrics:
         return FaultRunMetrics.from_records(self.failures,
-                                            wall_time=self.final_time)
+                                            wall_time=self.final_time,
+                                            corruptions=self.corruptions)
 
     def mean_commit_latency(self) -> Optional[float]:
         """Measured checkpoint cost C: mean request-to-commit latency
@@ -115,6 +126,8 @@ class FailureRecoveryDriver:
                  detection_latency: float = 0.25,
                  read_bandwidth: Optional[float] = None,
                  verify: bool = True,
+                 verify_integrity: bool = True,
+                 integrity_bandwidth: Optional[float] = None,
                  max_failures: int = 1000,
                  ckpt_transport: str = "estimate",
                  obs=None):
@@ -131,6 +144,14 @@ class FailureRecoveryDriver:
         self.detection_latency = detection_latency
         self.read_bandwidth = read_bandwidth
         self.verify = verify
+        #: verify chain integrity before trusting a committed checkpoint
+        #: (off reproduces the pre-integrity driver: corruption restores
+        #: garbage and the signature check, if on, is what catches it)
+        self.verify_integrity = verify_integrity
+        #: when set, charge digest recomputation at this bandwidth (B/s)
+        #: into restore time; None keeps restore costs bit-identical to
+        #: integrity-unaware runs
+        self.integrity_bandwidth = integrity_bandwidth
         self.max_failures = max_failures
         #: checkpoint data path per life ("estimate" reproduces the
         #: seed's flat-duration writes bit for bit)
@@ -187,7 +208,9 @@ class FailureRecoveryDriver:
                          name=config.spec.name)
         else:
             src_life, seq = restored_from
-            coordinator = RestartCoordinator(result.lives[src_life].store, app)
+            coordinator = RestartCoordinator(
+                result.lives[src_life].store, app,
+                verify_integrity=self.verify_integrity)
             job = coordinator.restart(engine, seq=seq,
                                       procs_per_node=config.procs_per_node,
                                       name=f"{config.spec.name}.life{index}")
@@ -214,7 +237,7 @@ class FailureRecoveryDriver:
             self.obs.progress.on_life(index, t_start)
         self._install_probe(job, library, app, life, progress_before)
         injector = FaultInjector(job, self.plan, disk_resolver=ckpt.disk,
-                                 stop_on_fatal=True)
+                                 store=ckpt.store, stop_on_fatal=True)
         injector.arm()
         finished: list[int] = []
 
@@ -240,7 +263,15 @@ class FailureRecoveryDriver:
             def on_restored(ctx, _hook=verify_hook):
                 restored[ctx.rank] = ctx.memory.state_signature()
                 if _hook is not None:
-                    _hook(ctx)
+                    try:
+                        _hook(ctx)
+                    except RecoveryError:
+                        # a poisoned restore kills this rank before the
+                        # restart barrier; without a halt the surviving
+                        # ranks would checkpoint forever against a
+                        # barrier that can never complete
+                        engine.stop()
+                        raise
 
             procs = coordinator.launch(job, on_restored=on_restored)
             result.restored_signatures.append(restored)
@@ -281,6 +312,8 @@ class FailureRecoveryDriver:
         no-ops rather than failures."""
         for _ in range(len(self.plan) + 2):
             engine.run(detect_deadlock=True)
+            if any(p.exception is not None for p in procs):
+                return      # _run_life re-raises the body's exception
             if engine.pending_events() == 0:
                 return
             if self._needs_recovery(injector, procs):
@@ -356,10 +389,11 @@ class FailureRecoveryDriver:
         victims = tuple(injector.dead_ranks)
         detected_at = t_fail + self.detection_latency
 
-        target = self._recovery_target(result)
+        target = self._recovery_target(result, detected_at)
         progress_at_fail = self._progress_at(life, t_fail)
         if target is None:
-            # nothing committed anywhere: start over from scratch
+            # nothing committed anywhere (or nothing that verifies):
+            # start over from scratch with a fresh full checkpoint
             restore_time = 0.0
             recovered_seq = None
             recovery_life = None
@@ -368,11 +402,14 @@ class FailureRecoveryDriver:
         else:
             recovery_life, recovered_seq = target
             src = result.lives[recovery_life]
-            manager = RecoveryManager(src.store)
+            manager = RecoveryManager(
+                src.store, verify_integrity=self.verify_integrity)
             bw = (self.read_bandwidth if self.read_bandwidth is not None
                   else self.config.cluster.disk.bandwidth)
             restore_time = max(
-                manager.estimated_restore_time(rank, bw, seq=recovered_seq)
+                manager.estimated_restore_time(
+                    rank, bw, seq=recovered_seq,
+                    verify_bandwidth=self.integrity_bandwidth)
                 for rank in range(self.config.nranks))
             progress_restored = src.progress_at.get(recovered_seq, 0.0)
             restored_from = target
@@ -399,14 +436,47 @@ class FailureRecoveryDriver:
                                 restore_time=restore_time)
         return record, restarted_at, progress_restored, restored_from
 
-    def _recovery_target(self,
-                         result: FaultRunResult) -> Optional[tuple[int, int]]:
-        """Newest committed global checkpoint across all lives."""
+    def _recovery_target(self, result: FaultRunResult,
+                         detected_at: float) -> Optional[tuple[int, int]]:
+        """Newest committed global checkpoint across all lives that
+        passes integrity verification.
+
+        With ``verify_integrity`` every candidate is scanned rank by
+        rank before recovery trusts it; a corrupted, truncated, or
+        dropped piece rejects the whole committed sequence (a
+        :class:`~repro.metrics.failures.CorruptionDetected` record per
+        bad chain) and the search walks back to the next older one --
+        across lives if need be.  Nothing intact anywhere means a
+        from-scratch restart, never a restore from corrupt data.
+        """
         for life in reversed(result.lives):
-            seq = life.store.latest_committed()
-            if seq is not None:
-                return (life.index, seq)
+            for seq in reversed(life.store.committed_sequences()):
+                if not self.verify_integrity:
+                    return (life.index, seq)
+                if self._candidate_intact(result, life, seq, detected_at):
+                    return (life.index, seq)
         return None
+
+    def _candidate_intact(self, result: FaultRunResult, life: LifeResult,
+                          seq: int, detected_at: float) -> bool:
+        """Verify every rank's chain up to ``seq`` in one life's store,
+        recording each broken chain."""
+        intact = True
+        for rank in range(self.config.nranks):
+            outcome = life.store.verify_chain(rank, upto_seq=seq,
+                                              require_seq=seq)
+            if outcome.intact:
+                continue
+            intact = False
+            bad = outcome.first_bad
+            result.corruptions.append(CorruptionDetected(
+                detected_at=detected_at, life=life.index, rank=rank,
+                seq=bad.seq, reason=bad.reason, rejected_seq=seq))
+            if self.obs.enabled:
+                self.obs.metrics.counter("ckpt.integrity.detected").inc()
+        if not intact and self.obs.enabled:
+            self.obs.metrics.counter("ckpt.integrity.walkbacks").inc()
+        return intact
 
     def _progress_at(self, life: LifeResult, t: float) -> float:
         """Absolute useful progress the failed life had reached at ``t``:
@@ -424,6 +494,8 @@ def run_with_failures(config: ExperimentConfig,
                       detection_latency: float = 0.25,
                       read_bandwidth: Optional[float] = None,
                       verify: bool = True,
+                      verify_integrity: bool = True,
+                      integrity_bandwidth: Optional[float] = None,
                       max_failures: int = 1000,
                       ckpt_transport: str = "estimate",
                       obs=None) -> FaultRunResult:
@@ -439,5 +511,7 @@ def run_with_failures(config: ExperimentConfig,
         config, plan, interval_slices=interval_slices,
         full_every=full_every, detection_latency=detection_latency,
         read_bandwidth=read_bandwidth, verify=verify,
+        verify_integrity=verify_integrity,
+        integrity_bandwidth=integrity_bandwidth,
         max_failures=max_failures, ckpt_transport=ckpt_transport,
         obs=obs).run()

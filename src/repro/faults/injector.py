@@ -10,6 +10,13 @@ into engine events and, when one fires, breaks the right component:
   loss and the injector kills the now-isolated rank too;
 - ``DISK``   -- inject media failures into the rank's checkpoint sink
   (:meth:`~repro.storage.Disk.fail_next_writes`); transient.
+- ``FLIP`` / ``TRUNCATE`` / ``DROP`` -- silently corrupt one stored
+  checkpoint piece (:meth:`~repro.storage.CheckpointStore.flip_bits` /
+  ``truncate_piece`` / ``drop_piece``).  Needs a ``store``; delivery
+  targets the event's ``seq`` or, when unset, the victim rank's newest
+  stored piece.  A corruption fault with nothing to corrupt (empty
+  chain, payload-free piece) is recorded as skipped -- corruption of
+  data that does not exist is provably harmless.
 
 Fault events fire at :data:`~repro.sim.engine.PRIORITY_LATE` so all
 ordinary activity at the same instant completes first -- delivery is
@@ -35,6 +42,7 @@ class FaultInjector:
 
     def __init__(self, job: MPIJob, plan: FaultPlan, *,
                  disk_resolver: Optional[Callable[[int], object]] = None,
+                 store: Optional[object] = None,
                  stop_on_fatal: bool = True,
                  on_fault: Optional[Callable[[FaultEvent], None]] = None):
         plan.validate_for(job.nranks)
@@ -44,12 +52,19 @@ class FaultInjector:
         #: maps a rank to its checkpoint storage sink (DISK faults);
         #: typically ``CheckpointEngine.disk``
         self.disk_resolver = disk_resolver
+        #: the :class:`~repro.storage.CheckpointStore` corruption faults
+        #: mangle; typically ``CheckpointEngine.store``
+        self.store = store
         self.stop_on_fatal = stop_on_fatal
         self.on_fault = on_fault
         #: events actually delivered, in delivery order
         self.delivered: list[FaultEvent] = []
-        #: events that could not be scheduled (already in the past)
+        #: events that could not be scheduled (already in the past) or
+        #: had nothing to act on (corruption with no stored piece)
         self.skipped: list[FaultEvent] = []
+        #: corruption events delivered, as ``(event, rank, seq)`` --
+        #: seq resolved at delivery time
+        self.corrupted: list[tuple[FaultEvent, int, int]] = []
         #: ranks lost to fatal faults delivered by this injector
         self.dead_ranks: list[int] = []
         self._armed = False
@@ -109,6 +124,10 @@ class FaultInjector:
                 raise FaultPlanError(
                     f"DISK fault at t={ev.time} but no disk_resolver given")
             self.disk_resolver(ev.rank).fail_next_writes(ev.count)
+        elif ev.kind.corrupting:
+            if not self._corrupt(ev):
+                self.skipped.append(ev)
+                return
         else:  # pragma: no cover - enum is exhaustive
             raise FaultPlanError(f"unknown fault kind {ev.kind!r}")
         self.delivered.append(ev)
@@ -116,6 +135,8 @@ class FaultInjector:
         if obs.enabled:
             obs.metrics.counter("faults.delivered").inc()
             obs.metrics.counter(f"faults.delivered_{ev.kind.value}").inc()
+            if ev.kind.corrupting:
+                obs.metrics.counter("ckpt.integrity.corrupted").inc()
             tracer = obs.tracer
             if tracer.enabled and tracer.wants("fault"):
                 tracer.instant(f"fault.{ev.kind.value}", "fault", ev.time,
@@ -125,6 +146,33 @@ class FaultInjector:
             self.on_fault(ev)
         if ev.kind.fatal and self.stop_on_fatal:
             self.engine.stop()
+
+    def _corrupt(self, ev: FaultEvent) -> bool:
+        """Deliver one silent-corruption event; False when there was
+        nothing to corrupt (recorded as skipped by the caller)."""
+        if self.store is None:
+            raise FaultPlanError(
+                f"{ev.kind.value} fault at t={ev.time} but no store given")
+        seq = ev.seq
+        if seq is None:
+            pieces = self.store.pieces(ev.rank)
+            if not pieces:
+                return False
+            seq = pieces[-1].seq
+        elif self.store.find(ev.rank, seq) is None:
+            return False
+        if ev.kind is FaultKind.FLIP:
+            # seed folds in the fault time so two flips of the same
+            # piece hit different bits, deterministically
+            if self.store.flip_bits(ev.rank, seq, nbits=ev.count,
+                                    seed=int(round(ev.time * 1e6))) is None:
+                return False  # payload-free piece: no bytes to flip
+        elif ev.kind is FaultKind.TRUNCATE:
+            self.store.truncate_piece(ev.rank, seq)
+        else:
+            self.store.drop_piece(ev.rank, seq)
+        self.corrupted.append((ev, ev.rank, seq))
+        return True
 
     @property
     def fatal_delivered(self) -> bool:

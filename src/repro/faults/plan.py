@@ -40,15 +40,34 @@ class FaultKind(enum.Enum):
         The rank's checkpoint disk loses its next write(s).  Transient:
         no recovery is triggered, but the affected global sequence never
         commits, so a later crash rolls back further (more lost work).
+    ``FLIP``
+        Silent media corruption: random bits flip in one already-stored
+        checkpoint piece.  The write *succeeded* -- nothing poisons,
+        nothing aborts -- so only integrity verification at recovery
+        time can tell.
+    ``TRUNCATE``
+        A torn/short write silently loses the tail of a stored piece.
+    ``DROP``
+        A stored piece vanishes entirely (misdirected write, lost
+        object), leaving a hole in the rank's recovery chain.
     """
 
     CRASH = "crash"
     NIC = "nic"
     DISK = "disk"
+    FLIP = "flip"
+    TRUNCATE = "truncate"
+    DROP = "drop"
 
     @property
     def fatal(self) -> bool:
         return self in (FaultKind.CRASH, FaultKind.NIC)
+
+    @property
+    def corrupting(self) -> bool:
+        """Silent store-corruption kinds (deliverable only when the
+        victim rank has a stored piece to mangle)."""
+        return self in (FaultKind.FLIP, FaultKind.TRUNCATE, FaultKind.DROP)
 
 
 @dataclass(frozen=True)
@@ -58,7 +77,10 @@ class FaultEvent:
     time: float       #: absolute virtual time the fault fires
     kind: FaultKind
     rank: int         #: victim rank
-    count: int = 1    #: DISK: how many consecutive writes fail
+    count: int = 1    #: DISK: consecutive failed writes; FLIP: bits flipped
+    #: corruption kinds: stored sequence to mangle (None: newest stored
+    #: piece of the victim rank at delivery time)
+    seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -67,11 +89,18 @@ class FaultEvent:
             raise FaultPlanError(f"victim rank must be >= 0, got {self.rank}")
         if self.count < 1:
             raise FaultPlanError(f"count must be >= 1, got {self.count}")
+        if self.seq is not None and not self.kind.corrupting:
+            raise FaultPlanError(
+                f"seq targets are only for corruption faults, "
+                f"not {self.kind.value}")
 
     def as_dict(self) -> dict:
         """JSON-ready form, the inverse of :meth:`FaultPlan.from_file`."""
-        return {"time": self.time, "kind": self.kind.value,
-                "rank": self.rank, "count": self.count}
+        d = {"time": self.time, "kind": self.kind.value,
+             "rank": self.rank, "count": self.count}
+        if self.seq is not None:
+            d["seq"] = self.seq
+        return d
 
 
 class FaultPlan:
@@ -165,9 +194,12 @@ class FaultPlan:
         for i, entry in enumerate(raw["events"]):
             try:
                 kind = FaultKind(entry["kind"])
+                seq = entry.get("seq")
                 events.append(FaultEvent(time=float(entry["time"]), kind=kind,
                                          rank=int(entry["rank"]),
-                                         count=int(entry.get("count", 1))))
+                                         count=int(entry.get("count", 1)),
+                                         seq=(None if seq is None
+                                              else int(seq))))
             except (KeyError, TypeError, ValueError) as exc:
                 raise FaultPlanError(
                     f"fault plan {path}, event {i}: {exc}") from exc

@@ -20,10 +20,12 @@ from repro.feasibility.availability import (
     FailureModel,
     efficiency,
     efficiency_curve,
+    integrity_checked_cost,
     observed_efficiency,
     optimal_efficiency,
     predicted_vs_observed,
     scale_study,
+    verified_restart_time,
     young_interval,
 )
 
@@ -39,9 +41,11 @@ __all__ = [
     "TrendModel",
     "efficiency",
     "efficiency_curve",
+    "integrity_checked_cost",
     "observed_efficiency",
     "optimal_efficiency",
     "predicted_vs_observed",
     "scale_study",
+    "verified_restart_time",
     "young_interval",
 ]

@@ -16,12 +16,14 @@
 
 from repro.metrics.bandwidth import IBStats, ib_stats, iws_ratio
 from repro.metrics.bursts import Burst, burst_duty_cycle, detect_bursts
-from repro.metrics.failures import FailureRecord, FaultRunMetrics
+from repro.metrics.failures import (CorruptionDetected, FailureRecord,
+                                    FaultRunMetrics)
 from repro.metrics.period import estimate_period, fraction_overwritten
 from repro.metrics.stats import FootprintStats, footprint_stats, mean_omitting_first
 
 __all__ = [
     "Burst",
+    "CorruptionDetected",
     "FailureRecord",
     "FaultRunMetrics",
     "FootprintStats",

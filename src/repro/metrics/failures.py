@@ -13,12 +13,18 @@ aggregates them into the quantities the availability model
 - **efficiency**: fraction of wall time spent on *useful* (not
   recomputed, not down) work -- directly comparable to the Young/Daly
   first-order model.
+
+Silent-corruption runs additionally record one
+:class:`CorruptionDetected` per chain that failed integrity
+verification at recovery time; a rejected committed sequence walks
+recovery back to an older intact one (or from scratch), and the extra
+rollback shows up in the lost-work totals above.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -48,6 +54,30 @@ class FailureRecord:
 
 
 @dataclass(frozen=True)
+class CorruptionDetected:
+    """One recovery chain that failed integrity verification.
+
+    Emitted while scanning candidate checkpoints at recovery time: the
+    committed sequence ``rejected_seq`` could not serve recovery because
+    ``rank``'s chain broke at piece ``seq`` with ``reason``.
+    """
+
+    detected_at: float  #: virtual time of the recovery scan
+    life: int           #: which life's store held the bad chain
+    rank: int
+    seq: int            #: piece that failed (or the missing target seq)
+    #: "digest-mismatch", "chain-break", "base-mismatch",
+    #: "missing-base", or "missing-target"
+    reason: str
+    rejected_seq: int   #: the committed sequence this verdict rejected
+
+    def __post_init__(self) -> None:
+        if self.reason == "ok":
+            raise ConfigurationError(
+                "a CorruptionDetected record needs a failure reason")
+
+
+@dataclass(frozen=True)
 class FaultRunMetrics:
     """Aggregate outcome of one run under failures."""
 
@@ -58,6 +88,10 @@ class FaultRunMetrics:
     total_restore_time: float
     #: failures recovered without any committed checkpoint (full rerun)
     from_scratch: int = 0
+    #: chains that failed integrity verification at recovery time
+    corruptions_detected: int = 0
+    #: committed sequences rejected as corrupt (recovery walked past them)
+    integrity_walkbacks: int = 0
 
     def __post_init__(self) -> None:
         if self.wall_time <= 0:
@@ -80,8 +114,9 @@ class FaultRunMetrics:
         return useful / self.wall_time
 
     @classmethod
-    def from_records(cls, records: list[FailureRecord],
-                     wall_time: float) -> "FaultRunMetrics":
+    def from_records(cls, records: list[FailureRecord], wall_time: float,
+                     corruptions: Sequence[CorruptionDetected] = (),
+                     ) -> "FaultRunMetrics":
         """Aggregate per-failure records over a run of ``wall_time``."""
         return cls(
             wall_time=wall_time,
@@ -90,12 +125,19 @@ class FaultRunMetrics:
             total_downtime=sum(r.downtime for r in records),
             total_restore_time=sum(r.restore_time for r in records),
             from_scratch=sum(1 for r in records if r.recovered_seq is None),
+            corruptions_detected=len(corruptions),
+            integrity_walkbacks=len({(c.life, c.rejected_seq)
+                                     for c in corruptions}),
         )
 
     def as_row(self) -> str:
         """One summary line for reports and the CLI."""
-        return (f"failures={self.n_failures} "
-                f"lost={self.total_lost_work:.2f}s "
-                f"down={self.total_downtime:.2f}s "
-                f"availability={self.availability:.2%} "
-                f"efficiency={self.efficiency:.2%}")
+        row = (f"failures={self.n_failures} "
+               f"lost={self.total_lost_work:.2f}s "
+               f"down={self.total_downtime:.2f}s "
+               f"availability={self.availability:.2%} "
+               f"efficiency={self.efficiency:.2%}")
+        if self.corruptions_detected:
+            row += (f" corruptions={self.corruptions_detected}"
+                    f" walkbacks={self.integrity_walkbacks}")
+        return row

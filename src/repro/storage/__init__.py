@@ -11,17 +11,23 @@ versioned per-rank checkpoint chains.
 from repro.storage.models import DiskSpec, SCSI_ULTRA320, IDE_ATA100, RAMDISK
 from repro.storage.disk import Disk
 from repro.storage.diskless import DisklessSink
+from repro.storage.integrity import (ChainVerification, HASH_BANDWIDTH,
+                                     PieceVerification, piece_digest)
 from repro.storage.raid import StorageArray
 from repro.storage.store import CheckpointStore, StoredObject
 
 __all__ = [
+    "ChainVerification",
     "CheckpointStore",
     "Disk",
     "DiskSpec",
     "DisklessSink",
+    "HASH_BANDWIDTH",
     "IDE_ATA100",
+    "PieceVerification",
     "RAMDISK",
     "SCSI_ULTRA320",
     "StorageArray",
     "StoredObject",
+    "piece_digest",
 ]

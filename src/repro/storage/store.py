@@ -6,19 +6,40 @@ deltas.  A *global* checkpoint with sequence number ``seq`` is
 recoverable only once every rank's piece for ``seq`` is durable, at
 which point the coordinator marks it committed; recovery always rolls
 back to the latest committed sequence (never a half-written one).
+
+Every piece stored through :meth:`CheckpointStore.put` carries a
+blake2b content digest plus chain links (the predecessor's digest and,
+for incrementals, the digest of the full heading the chain) -- see
+:mod:`repro.storage.integrity`.  The ``flip_bits`` / ``truncate_piece``
+/ ``drop_piece`` methods model *silent* media corruption: they mangle
+the stored data without touching the recorded digests, exactly the
+failure the verification layer exists to catch.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.errors import StorageError
+from repro.storage.integrity import (ChainVerification, PieceVerification,
+                                     piece_digest, verify_chain)
 
 
 @dataclass(frozen=True)
 class StoredObject:
-    """One stored checkpoint piece."""
+    """One stored checkpoint piece.
+
+    Equality covers the logical identity *and the declared size* --
+    ``(rank, seq, kind, nbytes)`` -- so a truncated piece never compares
+    equal to the object that was originally written.  The payload,
+    timestamps, and integrity metadata are excluded: two stores holding
+    the same logical chain compare piecewise equal even though their
+    digests were recorded at different times.
+    """
 
     rank: int
     seq: int
@@ -26,6 +47,12 @@ class StoredObject:
     nbytes: int
     payload: Any = field(compare=False, default=None)
     stored_at: float = field(compare=False, default=0.0)
+    #: blake2b digest of the piece as written (recomputable)
+    digest: Optional[str] = field(compare=False, default=None)
+    #: digest of the predecessor piece in this rank's chain at write time
+    prev_digest: Optional[str] = field(compare=False, default=None)
+    #: digest of the full checkpoint heading the chain (incrementals)
+    base_digest: Optional[str] = field(compare=False, default=None)
 
 
 class CheckpointStore:
@@ -58,8 +85,18 @@ class CheckpointStore:
         if not chain and kind != "full":
             raise StorageError(
                 f"rank {rank}: chain must start with a full checkpoint")
+        digest = piece_digest(rank, seq, kind, nbytes, payload)
+        prev_digest = chain[-1].digest if chain else None
+        base_digest = None
+        if kind == "incremental":
+            for obj in reversed(chain):
+                if obj.kind == "full":
+                    base_digest = obj.digest
+                    break
         obj = StoredObject(rank=rank, seq=seq, kind=kind, nbytes=nbytes,
-                           payload=payload, stored_at=stored_at)
+                           payload=payload, stored_at=stored_at,
+                           digest=digest, prev_digest=prev_digest,
+                           base_digest=base_digest)
         chain.append(obj)
         return obj
 
@@ -106,6 +143,155 @@ class CheckpointStore:
         """All stored pieces for ``rank``, oldest first."""
         self._check_rank(rank)
         return list(self._chains[rank])
+
+    # -- integrity -----------------------------------------------------------
+
+    def find(self, rank: int, seq: int) -> Optional[StoredObject]:
+        """The stored piece for ``(rank, seq)``, or None."""
+        self._check_rank(rank)
+        for obj in self._chains[rank]:
+            if obj.seq == seq:
+                return obj
+        return None
+
+    def verify_piece(self, rank: int, seq: int) -> PieceVerification:
+        """Recompute one piece's digest against the recorded one (content
+        only; chain links are :meth:`verify_chain`'s job)."""
+        obj = self.find(rank, seq)
+        if obj is None:
+            return PieceVerification(rank=rank, seq=seq, kind="incremental",
+                                     ok=False, reason="missing-target")
+        recomputed = piece_digest(obj.rank, obj.seq, obj.kind, obj.nbytes,
+                                  obj.payload)
+        ok = obj.digest is not None and recomputed == obj.digest
+        return PieceVerification(rank=rank, seq=seq, kind=obj.kind, ok=ok,
+                                 reason="ok" if ok else "digest-mismatch")
+
+    def verify_chain(self, rank: int, upto_seq: Optional[int] = None,
+                     require_seq: Optional[int] = None) -> ChainVerification:
+        """Verify the recovery chain for ``rank`` up to ``upto_seq``:
+        digests plus predecessor/base links.  See
+        :func:`repro.storage.integrity.verify_chain`."""
+        self._check_rank(rank)
+        return verify_chain(rank, self.chain(rank, upto_seq=upto_seq),
+                            target_seq=upto_seq, require_seq=require_seq)
+
+    # -- silent corruption (fault-injection surface) --------------------------
+
+    def flip_bits(self, rank: int, seq: int, *, nbits: int = 1,
+                  seed: int = 0) -> Optional[StoredObject]:
+        """Flip ``nbits`` random bits in the stored payload of one piece
+        -- silent media corruption: the recorded digest is *not* updated,
+        so only verification can tell.  Deterministic for a given
+        ``(seed, rank, seq)``.  Returns the piece, or None when it holds
+        no payload bytes to corrupt (nothing happened).
+        """
+        if nbits < 1:
+            raise StorageError(f"nbits must be >= 1, got {nbits}")
+        obj = self.find(rank, seq)
+        if obj is None:
+            raise StorageError(f"rank {rank} has no piece for seq {seq}")
+        targets = self._corruptible_arrays(obj)
+        if not targets:
+            return None
+        rng = np.random.default_rng([seed & 0x7FFFFFFF, rank, seq])
+        sizes = np.array([t.size for t in targets])
+        total = int(sizes.sum())
+        for _ in range(nbits):
+            pos = int(rng.integers(total))
+            bit = int(rng.integers(8))
+            for view, size in zip(targets, sizes):
+                if pos < size:
+                    view[pos] ^= np.uint8(1 << bit)
+                    break
+                pos -= int(size)
+        return obj
+
+    @staticmethod
+    def _corruptible_arrays(obj: StoredObject) -> list[np.ndarray]:
+        """Flat uint8 views over the piece's stored arrays (the "bytes
+        on the platter"); empty when the piece keeps no payload."""
+        if obj.payload is None:
+            return []
+        views = []
+        for p in obj.payload.payloads:
+            for arr in (p.page_bytes, p.versions):
+                if arr is not None and arr.size and arr.flags.c_contiguous:
+                    views.append(arr.view(np.uint8).reshape(-1))
+        return views
+
+    def truncate_piece(self, rank: int, seq: int, *,
+                       keep_bytes: Optional[int] = None) -> StoredObject:
+        """Model a torn/short write: the piece's trailing saved pages are
+        gone and its on-media size shrinks, but the recorded digest (the
+        write-time header) still describes the full piece.  The store
+        ledger reflects the *actual* bytes held.  Returns the truncated
+        piece now in the chain.
+        """
+        obj = self.find(rank, seq)
+        if obj is None:
+            raise StorageError(f"rank {rank} has no piece for seq {seq}")
+        if keep_bytes is None:
+            keep_bytes = obj.nbytes // 2
+        if not (0 <= keep_bytes <= obj.nbytes):
+            raise StorageError(
+                f"keep_bytes {keep_bytes} outside [0, {obj.nbytes}]")
+        payload = obj.payload
+        if payload is not None:
+            payload = self._truncate_payload(payload, keep_bytes)
+            new_nbytes = min(obj.nbytes, payload.nbytes)
+        else:
+            new_nbytes = keep_bytes
+        truncated = dataclasses.replace(obj, nbytes=new_nbytes,
+                                        payload=payload)
+        chain = self._chains[rank]
+        chain[chain.index(obj)] = truncated
+        return truncated
+
+    @staticmethod
+    def _truncate_payload(payload, keep_bytes: int):
+        """Drop trailing saved pages until the modelled size fits."""
+        from repro.checkpoint.snapshot import Checkpoint, PagePayload
+        kept = []
+        for p in payload.payloads:
+            kept.append(p)
+        while kept:
+            size = Checkpoint(seq=payload.seq, kind=payload.kind,
+                              taken_at=payload.taken_at,
+                              page_size=payload.page_size,
+                              geometry=payload.geometry,
+                              payloads=tuple(kept)).nbytes
+            if size <= keep_bytes:
+                break
+            last = kept[-1]
+            if last.npages <= 1:
+                kept.pop()
+                continue
+            drop = max(1, last.npages
+                       - max(0, (last.npages * keep_bytes) // max(size, 1)))
+            n = last.npages - drop
+            kept[-1] = PagePayload(
+                sid=last.sid, indices=last.indices[:n],
+                versions=last.versions[:n],
+                page_bytes=(None if last.page_bytes is None
+                            else last.page_bytes[:n]))
+        return Checkpoint(seq=payload.seq, kind=payload.kind,
+                          taken_at=payload.taken_at,
+                          page_size=payload.page_size,
+                          geometry=payload.geometry, payloads=tuple(kept))
+
+    def drop_piece(self, rank: int, seq: int) -> StoredObject:
+        """Silently lose one piece from a chain -- no poisoning, no
+        commit bookkeeping, committed sequences included: exactly what a
+        misdirected write or lost object leaves behind.  (Contrast
+        :meth:`discard`, the *detected* write-failure path.)  Returns the
+        removed piece; the ledger drops its bytes.
+        """
+        obj = self.find(rank, seq)
+        if obj is None:
+            raise StorageError(f"rank {rank} has no piece for seq {seq}")
+        self._chains[rank].remove(obj)
+        return obj
 
     # -- maintenance --------------------------------------------------------------
 

@@ -108,6 +108,36 @@ def test_restart_rank_count_must_match():
         coordinator.restart(Engine(), nranks=4)
 
 
+def test_apply_chain_recreates_transient_mmaps():
+    # a checkpoint taken while a transient allocation (Sage's per-
+    # iteration temporaries) was live carries that mmap segment; a
+    # restarted process hasn't made the allocation yet, so apply_chain
+    # must rebuild it at its recorded address, bit for bit
+    from repro.checkpoint import FullCheckpointer
+    from repro.mem import Layout
+    from repro.units import KiB
+
+    ps = 16 * KiB
+    layout = Layout(page_size=ps)
+    original = AddressSpace(layout, data_size=4 * ps, bss_size=2 * ps,
+                            store_contents=True)
+    original.cpu_write(original.data.base, 2 * ps)
+    temp = original.mmap(2 * ps)
+    original.cpu_write(temp.base, 2 * ps)
+    chain = [FullCheckpointer().capture(original, seq=0)]
+
+    fresh = AddressSpace(layout, data_size=4 * ps, bss_size=2 * ps,
+                         store_contents=True)
+    apply_chain(fresh, chain, strict=True)
+    assert AddressSpace.signatures_equal(fresh.state_signature(),
+                                         original.state_signature())
+    rebuilt = fresh.find_segment(temp.base)
+    assert rebuilt is not None and rebuilt.npages == temp.npages
+    # and the app's next transient allocation lands elsewhere
+    again = fresh.mmap(2 * ps)
+    assert again.base != temp.base
+
+
 def test_apply_chain_strict_geometry_checks():
     app, ckpt, _ = run_until_failure()
     recovery = RecoveryManager(ckpt.store, layout=app.layout)

@@ -69,9 +69,60 @@ def test_faults_run_plan_rank_out_of_range(tmp_path, capsys):
     assert "only 2 ranks" in capsys.readouterr().err
 
 
+def test_faults_run_corrupt_detects_and_walks_back(tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"events": [
+        {"time": 5.3, "kind": "crash", "rank": 0}]}))
+    args = ("faults", "run", "--app", "lu", "--ranks", "2",
+            "--duration", "8", "--timeslice", "0.5",
+            "--plan", str(plan), "--corrupt", "flip@5.1:1:9")
+    code, text = run_cli(*args)
+    assert code == 0
+    assert "digest-mismatch" in text
+    assert "rejected committed seq 9" in text
+    assert "corruptions=1 walkbacks=1" in text
+    assert run_cli(*args) == (code, text)    # same flip, same run
+
+
+def test_faults_run_corrupt_only_scans_the_store():
+    code, text = run_cli("faults", "run", "--app", "lu", "--ranks", "2",
+                         "--duration", "8", "--timeslice", "0.5",
+                         "--corrupt", "flip@5.1:1:9")
+    assert code == 0
+    # no crash: the corruption is harmless, but the scan reports it
+    assert "integrity scan:" in text
+    assert "digest-mismatch" in text
+
+
+def test_run_store_out_then_ckpt_verify(tmp_path):
+    store = tmp_path / "store.rckpt"
+    code, text = run_cli("run", "--app", "lu", "--ranks", "2",
+                         "--duration", "8", "--timeslice", "0.5",
+                         "--ckpt-transport", "network",
+                         "--store-out", str(store))
+    assert code == 0
+    assert "archived to" in text
+    code, text = run_cli("ckpt", "verify", str(store))
+    assert code == 0
+    assert "OK" in text
+
+
+@pytest.mark.parametrize("spec", [
+    "crash@1:0",              # not a corrupting kind
+    "flip",                   # no position at all
+    "flip@oops:0",            # malformed time
+    "flip@1.0:zero",          # malformed rank
+    "flip@1.0:0:x",           # malformed seq
+    "warp@1.0:0",             # unknown kind
+])
+def test_bad_corrupt_specs_exit_two(spec, capsys):
+    code = main(["faults", "run", "--app", "lu", "--ranks", "2",
+                 "--corrupt", spec])
+    assert code == 2
+    capsys.readouterr()
+
+
 @pytest.mark.parametrize("argv", [
-    # neither --mtbf nor --plan
-    ("faults", "run", "--app", "lu"),
     # both at once
     ("faults", "run", "--app", "lu", "--mtbf", "5", "--plan", "x.json"),
     # non-positive or malformed numbers

@@ -18,7 +18,7 @@ from pathlib import Path
 from repro.apps.registry import paper_spec
 from repro.apps.synthetic import small_spec
 from repro.cluster.experiment import ExperimentConfig, run_experiment
-from repro.faults import FaultPlan, run_with_failures
+from repro.faults import FaultEvent, FaultKind, FaultPlan, run_with_failures
 from repro.obs import Observability, Tracer, strip_wall_times
 
 HERE = Path(__file__).parent
@@ -39,6 +39,21 @@ TRANSPORT_CONFIG = ExperimentConfig(
     ckpt_interval_slices=2, ckpt_full_every=3)
 TRANSPORT_CATEGORIES = frozenset(
     {"timeslice", "net", "checkpoint", "storage"})
+
+#: the corruption golden: the same 8-rank Sage shape, full_every=5 so
+#: committed seqs 1..9 share one chain; a bit-flip silently poisons
+#: piece 3 of the 5 committed pieces (rank 3, seq 5) and a crash
+#: follows.  Pinned: the walk-back (reject 9, 7, 5; recover at 3), the
+#: restored run completing, and the sha256 of the full event stream.
+CORRUPTION_CONFIG = ExperimentConfig(
+    spec=paper_spec("sage-50MB"), nranks=8, timeslice=0.5,
+    run_duration=6.0, ckpt_transport="network",
+    ckpt_interval_slices=2, ckpt_full_every=5)
+CORRUPTION_PLAN = FaultPlan([
+    FaultEvent(5.2, FaultKind.FLIP, 3, seq=5),
+    FaultEvent(5.6, FaultKind.CRASH, 0)])
+CORRUPTION_CATEGORIES = frozenset(
+    {"timeslice", "checkpoint", "fault", "recovery"})
 
 
 def canonical_events(tracer: Tracer) -> str:
@@ -124,10 +139,53 @@ def transport_payload() -> dict:
     }
 
 
+def corruption_payload() -> dict:
+    tracer = Tracer(wall_clock=None, categories=CORRUPTION_CATEGORIES)
+    res = run_with_failures(CORRUPTION_CONFIG, CORRUPTION_PLAN,
+                            interval_slices=2, full_every=5,
+                            ckpt_transport="network",
+                            obs=Observability(tracer=tracer))
+    canon = canonical_events(tracer)
+    m = res.metrics
+    rec = res.failures[0]
+    return {
+        "app": CORRUPTION_CONFIG.spec.name,
+        "nranks": CORRUPTION_CONFIG.nranks,
+        "planned_events": [e.as_dict() for e in CORRUPTION_PLAN],
+        "final_time": res.final_time,
+        "n_lives": len(res.lives),
+        "committed_at_crash": [g.seq for g in res.lives[0].committed],
+        "failure": {
+            "time": rec.time, "kind": rec.kind,
+            "victims": list(rec.victims),
+            "recovered_seq": rec.recovered_seq,
+            "recovery_life": rec.recovery_life,
+            "lost_work": rec.lost_work,
+            "restore_time": rec.restore_time,
+            "downtime": rec.downtime,
+            "restarted_at": rec.restarted_at,
+        },
+        "corruptions": [
+            {"detected_at": c.detected_at, "life": c.life, "rank": c.rank,
+             "seq": c.seq, "reason": c.reason,
+             "rejected_seq": c.rejected_seq}
+            for c in res.corruptions
+        ],
+        "metrics": {"wall_time": m.wall_time,
+                    "availability": m.availability,
+                    "corruptions_detected": m.corruptions_detected,
+                    "integrity_walkbacks": m.integrity_walkbacks},
+        "final_iterations": res.lives[-1].iterations,
+        "n_events": len(tracer.events),
+        "events_sha256": hashlib.sha256(canon.encode()).hexdigest(),
+    }
+
+
 def main() -> None:
     for name, payload in (("golden_trace.json", trace_payload()),
                           ("golden_faults.json", faults_payload()),
-                          ("golden_transport.json", transport_payload())):
+                          ("golden_transport.json", transport_payload()),
+                          ("golden_corruption.json", corruption_payload())):
         path = HERE / name
         path.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"wrote {path}")

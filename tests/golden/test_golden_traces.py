@@ -14,8 +14,8 @@ from repro.obs import Observability, Tracer
 from repro.cluster.experiment import run_experiment
 from tests.golden.make_golden import (TRANSPORT_CATEGORIES,
                                       TRANSPORT_CONFIG, canonical_events,
-                                      faults_payload, trace_payload,
-                                      transport_payload)
+                                      corruption_payload, faults_payload,
+                                      trace_payload, transport_payload)
 
 HERE = Path(__file__).parent
 
@@ -80,6 +80,30 @@ def test_golden_transport_actually_measures():
     assert t["bytes_drained"] == t["bytes_submitted"] > 0
     assert 0.0 < t["achieved_bandwidth"] <= 320 * 2**20  # disk-bound
     assert 0.0 < golden["measured"]["fraction_of_sustainable"] <= 1.0
+
+
+def test_corruption_recovery_matches_golden_exactly():
+    golden = load("golden_corruption.json")
+    current = json.loads(json.dumps(corruption_payload()))
+    assert current == golden
+
+
+def test_golden_corruption_actually_walks_back():
+    # guard against the golden being regenerated into a trivial run:
+    # the crash must see five committed pieces, the silent flip must be
+    # piece 3 of them, and recovery must walk back past it and finish
+    golden = load("golden_corruption.json")
+    assert golden["nranks"] == 8 and golden["app"].startswith("sage")
+    assert golden["committed_at_crash"] == [1, 3, 5, 7, 9]
+    assert golden["failure"]["recovered_seq"] == 3
+    assert [c["rejected_seq"] for c in golden["corruptions"]] == [9, 7, 5]
+    assert all(c["reason"] == "digest-mismatch" and c["rank"] == 3
+               and c["seq"] == 5 for c in golden["corruptions"])
+    assert golden["metrics"]["corruptions_detected"] == 3
+    assert golden["metrics"]["integrity_walkbacks"] == 3
+    assert golden["n_lives"] == 2 and golden["final_iterations"] > 0
+    assert golden["n_events"] > 500
+    assert len(golden["events_sha256"]) == 64
 
 
 def test_golden_fault_run_actually_recovers():

@@ -1,0 +1,135 @@
+"""Fuzzing the checkpoint archive reader: ``scan_store`` (and the
+``repro ckpt verify`` CLI on top of it) must *report* on any mangled
+input -- truncated at an arbitrary byte, bit-flipped anywhere, or
+outright garbage -- and never crash, hang, or return nonsense exit
+codes."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.snapshot import Checkpoint, PagePayload, SegmentRecord
+from repro.cli import main
+from repro.storage import CheckpointStore
+from repro.storage.archive import MAGIC, save_store, scan_store
+
+PAGE = 64
+
+
+def tiny_store():
+    """Small on purpose: the archive stays ~a few KB so exhaustive
+    byte-boundary truncation is cheap."""
+    store = CheckpointStore(2)
+    for rank in range(2):
+        for i, seq in enumerate((1, 3)):
+            kind = "full" if i == 0 else "incremental"
+            rng = np.random.default_rng([rank, seq])
+            ckpt = Checkpoint(
+                seq=seq, kind=kind, taken_at=float(seq), page_size=PAGE,
+                geometry=(SegmentRecord(sid=1, kind="data", base=0,
+                                        npages=2),),
+                payloads=(PagePayload(
+                    sid=1, indices=np.arange(2, dtype=np.int64),
+                    versions=np.arange(1, 3, dtype=np.uint64),
+                    page_bytes=rng.integers(0, 256, size=(2, PAGE),
+                                            dtype=np.uint8)),))
+            store.put(rank, seq, kind, ckpt.nbytes, payload=ckpt,
+                      stored_at=float(seq))
+    store.mark_committed(1)
+    store.mark_committed(3)
+    return store
+
+
+@pytest.fixture(scope="module")
+def archive_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("arch") / "store.rckpt"
+    save_store(tiny_store(), path)
+    return path.read_bytes()
+
+
+def scan_must_report(path):
+    """The contract under fuzz: a report comes back, rendering works,
+    and the verdict fields are consistent."""
+    report = scan_store(path)
+    text = report.render()
+    assert isinstance(text, str) and text
+    if report.error is not None:
+        assert not report.ok
+    if any(not p.ok for p in report.pieces) or report.chain_problems:
+        assert not report.ok
+    return report
+
+
+def test_clean_archive_scans_ok(archive_bytes, tmp_path):
+    path = tmp_path / "clean.rckpt"
+    path.write_bytes(archive_bytes)
+    report = scan_must_report(path)
+    assert report.ok and report.n_corrupt == 0
+
+
+def test_truncation_at_every_byte_boundary(archive_bytes, tmp_path):
+    path = tmp_path / "cut.rckpt"
+    for cut in range(len(archive_bytes)):
+        path.write_bytes(archive_bytes[:cut])
+        report = scan_must_report(path)
+        # a cut strictly inside the payload region must never pass as
+        # fully intact with all pieces present
+        if cut < len(MAGIC):
+            assert not report.ok
+    # cutting nothing is the clean archive again
+    path.write_bytes(archive_bytes)
+    assert scan_must_report(path).ok
+
+
+def test_every_header_byte_flip_is_survivable(archive_bytes, tmp_path):
+    path = tmp_path / "flip.rckpt"
+    header = min(len(archive_bytes), 256)
+    for pos in range(header):
+        for mask in (0x01, 0x80):
+            mangled = bytearray(archive_bytes)
+            mangled[pos] ^= mask
+            path.write_bytes(bytes(mangled))
+            scan_must_report(path)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_mutations_always_produce_a_report(archive_bytes,
+                                                 tmp_path_factory, data):
+    raw = bytearray(archive_bytes)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8),
+                             label="n_mutations")):
+        pos = data.draw(st.integers(min_value=0, max_value=len(raw) - 1),
+                        label="pos")
+        raw[pos] = data.draw(st.integers(min_value=0, max_value=255),
+                             label="value")
+    path = tmp_path_factory.mktemp("mut") / "m.rckpt"
+    path.write_bytes(bytes(raw))
+    scan_must_report(path)
+
+
+@pytest.mark.parametrize("payload", [
+    b"", b"\x00", b"not an archive at all", MAGIC, MAGIC + b"\xff" * 40,
+    MAGIC + b"\xff\xff\xff\x7f",              # frame length ~2 GiB
+])
+def test_garbage_archives_report_not_crash(payload, tmp_path):
+    path = tmp_path / "garbage.rckpt"
+    path.write_bytes(payload)
+    report = scan_must_report(path)
+    assert not report.ok
+
+
+def test_cli_verify_exit_codes_stay_in_contract(archive_bytes, tmp_path):
+    clean = tmp_path / "ok.rckpt"
+    clean.write_bytes(archive_bytes)
+    assert main(["ckpt", "verify", str(clean)], out=io.StringIO()) == 0
+
+    cut = tmp_path / "cut.rckpt"
+    cut.write_bytes(archive_bytes[: len(archive_bytes) // 2])
+    assert main(["ckpt", "verify", str(cut)], out=io.StringIO()) in (1, 2)
+
+    missing = tmp_path / "nope.rckpt"
+    assert main(["ckpt", "verify", str(missing)], out=io.StringIO()) == 2

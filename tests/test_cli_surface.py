@@ -56,8 +56,8 @@ def test_obs_flags_documented_in_help(capsys):
     [],
     ["run"],                      # --app is required
     ["run", "--app", "bogus"],
-    ["faults", "run", "--app", "lu"],   # needs --mtbf or --plan
     ["obs"],                      # needs a subcommand
+    ["ckpt"],                     # needs a subcommand
     ["sweep", "--app", "lu", "--jobs", "0"],
 ])
 def test_bad_usage_exits_two(argv, capsys):
@@ -65,6 +65,13 @@ def test_bad_usage_exits_two(argv, capsys):
         main(argv)
     assert exc.value.code == 2
     capsys.readouterr()  # swallow the usage message
+
+
+def test_faults_run_needs_a_fault_source(capsys):
+    # not an argparse error any more (--corrupt alone is a valid
+    # source), but still exit code 2 with a pointer at the flags
+    assert main(["faults", "run", "--app", "lu"]) == 2
+    assert "--corrupt" in capsys.readouterr().err
 
 
 # -- observability flags end to end -------------------------------------------

@@ -58,11 +58,29 @@ def run_with_stdlib_trace(pytest_args: list[str], report: Path) -> float:
     over every python file under src/repro."""
     counts_dir = ROOT / ".coverage-trace"
     counts_dir.mkdir(exist_ok=True)
+    # stdlib trace's _Ignore caches its verdict keyed by *bare module
+    # name*: once site-packages' records.py / random.py / __init__.py is
+    # ignored (it lives under sys.prefix), every same-named file in
+    # src/repro is silently ignored too and reports as 0% covered.
+    # Replace the ignore object with one keyed by file path.
     runner = (
         "import sys, trace\n"
         "import pytest\n"
-        f"tracer = trace.Trace(count=True, trace=False,\n"
-        f"                     ignoredirs=[sys.prefix, sys.exec_prefix])\n"
+        "class _PathIgnore:\n"
+        "    def __init__(self, dirs):\n"
+        "        import os\n"
+        "        self._dirs = [os.path.normpath(d) + os.sep for d in dirs]\n"
+        "        self._cache = {}\n"
+        "    def names(self, filename, modulename):\n"
+        "        verdict = self._cache.get(filename)\n"
+        "        if verdict is None:\n"
+        "            verdict = int(not filename\n"
+        "                          or any(filename.startswith(d)\n"
+        "                                 for d in self._dirs))\n"
+        "            self._cache[filename] = verdict\n"
+        "        return verdict\n"
+        "tracer = trace.Trace(count=True, trace=False)\n"
+        "tracer.ignore = _PathIgnore([sys.prefix, sys.exec_prefix])\n"
         f"code = tracer.runfunc(pytest.main, ['-q', *{pytest_args!r}])\n"
         f"tracer.results().write_results(show_missing=False,\n"
         f"                               coverdir={str(counts_dir)!r})\n"
