@@ -247,9 +247,20 @@ class AllocPhase(Phase):
     def run(self, rc: "AppRunContext") -> Generator:
         rc.use_stack(_STACK_ALLOC)
         per_block = -(-self.nbytes // self.nblocks)
-        blocks = [rc.allocator.malloc(per_block) for _ in range(self.nblocks)]
+        # the malloc + page-table growth here is real *host* work inside
+        # a generator-resume event; the profiler section splits it out of
+        # process.resume so allocation churn shows up under its own name
+        profiler = rc.engine.obs.profiler
+        if profiler is None:
+            blocks = [rc.allocator.malloc(per_block)
+                      for _ in range(self.nblocks)]
+            region = Region.from_blocks(self.name, rc.memory, blocks)
+        else:
+            with profiler.section("app.region_alloc", rank=rc.rank):
+                blocks = [rc.allocator.malloc(per_block)
+                          for _ in range(self.nblocks)]
+                region = Region.from_blocks(self.name, rc.memory, blocks)
         rc.blocks[self.name] = blocks
-        region = Region.from_blocks(self.name, rc.memory, blocks)
         yield from sweep(rc, region, self.duration, passes=1.0)
 
 
@@ -265,8 +276,14 @@ class FreePhase(Phase):
         if blocks is None:
             raise ConfigurationError(
                 f"free of unknown transient allocation {self.name!r}")
-        for block in blocks:
-            rc.allocator.free(block)
+        profiler = rc.engine.obs.profiler
+        if profiler is None:
+            for block in blocks:
+                rc.allocator.free(block)
+        else:
+            with profiler.section("app.region_free", rank=rc.rank):
+                for block in blocks:
+                    rc.allocator.free(block)
         yield from ()
 
 

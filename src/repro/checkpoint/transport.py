@@ -324,15 +324,16 @@ class CheckpointTransport:
                 m.counter("checkpoint.transport.frames"),
                 m.counter("checkpoint.transport.stalls"),
                 m.counter("checkpoint.transport.stall_time_s"),
+                m.series("checkpoint.transport.drained_bytes"),
             )
         return cache
 
     def _update_queue_gauges(self) -> None:
         obs = self.engine.obs
         if obs.enabled:
-            (_, g_queue, g_peak, _, _, _, _) = self._gauge_obs(obs)
-            g_queue.set(self.queue_bytes())
-            g_peak.set(self.peak_queue_bytes())
+            cache = self._gauge_obs(obs)
+            cache[1].set(self.queue_bytes())
+            cache[2].set(self.peak_queue_bytes())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<{type(self).__name__} mode={self.spec.mode!r} "
@@ -487,6 +488,7 @@ class _FramedTransport(CheckpointTransport):
             cache[1].set(self.queue_bytes())
             cache[3].inc(frame)
             cache[4].inc()
+            cache[7].record(self.engine.now, frame)
         if (piece.unacked == 0 and piece.to_inject == 0
                 and not piece.pending_empty_frame):
             self._finish_piece(rank, piece)

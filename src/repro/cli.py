@@ -30,13 +30,24 @@ Commands:
 ``obs view``
     Summarize a trace file written with ``--trace-out`` (span totals,
     instant counts, burst structure) without re-running anything.
+``obs top``
+    Render a host-time profile written with ``--profile-out``: wall
+    time per event kind x subsystem x rank group.
+``obs critpath``
+    Per-timeslice critical-path verdicts from a trace: app compute vs
+    drain backpressure vs network contention.
+``obs diff``
+    Compare two metrics/profile artifacts; exit 1 when any
+    deterministic value moved beyond the threshold.
 
 ``run``, ``sweep``, and ``faults run`` all accept ``--trace-out FILE``
 (Chrome/Perfetto JSON, or JSONL with a ``.jsonl`` suffix),
-``--metrics-out FILE`` (text with ``.txt``, JSON otherwise), and
-``--progress`` (live line on stderr).  Tracing never perturbs the
-simulation: timestamps are virtual time, identical across same-seed
-runs.
+``--metrics-out FILE`` (text with ``.txt``, JSON otherwise),
+``--profile-out FILE`` (host wall-time attribution),
+``--series-out FILE`` (per-window JSONL of the sim-time metric
+series), and ``--progress`` (live line on stderr).  Tracing never
+perturbs the simulation: timestamps are virtual time, identical across
+same-seed runs.
 """
 
 from __future__ import annotations
@@ -85,6 +96,12 @@ def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
     grp.add_argument("--metrics-out", metavar="FILE", default=None,
                      help="dump the metrics registry (.txt for text, "
                           "JSON otherwise)")
+    grp.add_argument("--profile-out", metavar="FILE", default=None,
+                     help="write the host wall-time profile (view with "
+                          "'obs top'; in-process runs only)")
+    grp.add_argument("--series-out", metavar="FILE", default=None,
+                     help="dump the sim-time-windowed metric series as "
+                          "per-window JSONL")
     grp.add_argument("--progress", action="store_true",
                      help="live progress line on stderr")
 
@@ -92,13 +109,16 @@ def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
 def _make_obs(args):
     """An :class:`~repro.obs.Observability` for the requested flags, or
     None when none were given (the zero-cost path)."""
-    if not (args.trace_out or args.metrics_out or args.progress):
+    if not (args.trace_out or args.metrics_out or args.progress
+            or args.profile_out or args.series_out):
         return None
-    from repro.obs import MetricsRegistry, Observability, ProgressReporter, Tracer
+    from repro.obs import (EngineProfiler, MetricsRegistry, Observability,
+                           ProgressReporter, Tracer)
     return Observability(
         tracer=Tracer() if args.trace_out else None,
         metrics=MetricsRegistry(),
-        progress=ProgressReporter() if args.progress else None)
+        progress=ProgressReporter() if args.progress else None,
+        profiler=EngineProfiler() if args.profile_out else None)
 
 
 def _finish_obs(obs, args, out) -> None:
@@ -107,6 +127,14 @@ def _finish_obs(obs, args, out) -> None:
         return
     if obs.progress is not None:
         obs.progress.close()
+    if args.profile_out:
+        # first: the profile's wall window closes at export time, and
+        # the trace/metrics serialization below is not simulation work
+        profile = obs.profiler.export(args.profile_out)
+        print(f"profile written to {args.profile_out} "
+              f"({profile['events']} events, "
+              f"{profile['coverage'] * 100.0:.1f}% of "
+              f"{profile['wall_total_s']:.2f}s wall attributed)", file=out)
     if args.trace_out:
         obs.tracer.export(args.trace_out)
         print(f"trace written to {args.trace_out} "
@@ -115,6 +143,20 @@ def _finish_obs(obs, args, out) -> None:
         obs.metrics.dump(args.metrics_out)
         print(f"metrics written to {args.metrics_out} "
               f"({len(obs.metrics.names())} series)", file=out)
+    if args.series_out:
+        obs.metrics.dump_series(args.series_out)
+        print(f"series written to {args.series_out} "
+              f"({len(obs.metrics.all_series())} series)", file=out)
+
+
+def _reject_profile_with_workers(args, what: str) -> bool:
+    """--profile-out measures the in-process engine; worker-process
+    modes would profile only the parent.  True when rejected."""
+    if args.profile_out:
+        print(f"--profile-out is incompatible with {what}: the profiler "
+              f"attributes this process's engine events", file=sys.stderr)
+        return True
+    return False
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -277,6 +319,42 @@ def _parser() -> argparse.ArgumentParser:
     oview.add_argument("--top", type=_positive_int, default=10,
                        help="span rows to show (default 10)")
 
+    otop = osub.add_parser("top",
+                           help="render a host-time profile written with "
+                                "--profile-out")
+    otop.add_argument("profile", metavar="PROFILE",
+                      help="profile.json written with --profile-out")
+    otop.add_argument("--top", type=_positive_int, default=20,
+                      help="category rows to show (default 20)")
+    otop.add_argument("--by", choices=("self", "cum", "count"),
+                      default="self",
+                      help="sort key (default: self time)")
+
+    ocrit = osub.add_parser("critpath",
+                            help="per-timeslice critical-path verdicts "
+                                 "from a trace")
+    ocrit.add_argument("trace", metavar="TRACE",
+                       help="Chrome JSON or JSONL trace file")
+    ocrit.add_argument("--limit", type=_positive_int, default=30,
+                       help="slice rows to show (default 30)")
+    ocrit.add_argument("--json", action="store_true",
+                       help="machine-readable result")
+
+    odiff = osub.add_parser("diff",
+                            help="compare two metrics/profile artifacts "
+                                 "(exit 1 on regressions)")
+    odiff.add_argument("a", metavar="A", help="baseline artifact")
+    odiff.add_argument("b", metavar="B", help="candidate artifact")
+    odiff.add_argument("--threshold", type=_nonneg_float, default=0.0,
+                       help="relative change tolerated before a value "
+                            "counts as a regression (default 0: exact)")
+    odiff.add_argument("--strict", action="store_true",
+                       help="gate wall-time values too (same-machine "
+                            "A/B timing comparisons)")
+    odiff.add_argument("--report", metavar="FILE", default=None,
+                       help="also write the machine-readable report "
+                            "as JSON")
+
     ana = sub.add_parser("analyze",
                          help="compute IWS/IB statistics from saved traces "
                               "(no re-simulation)")
@@ -303,6 +381,8 @@ def cmd_list_apps(out) -> int:
 
 def cmd_run(args, out) -> int:
     """``run``: one instrumented experiment, stats to stdout."""
+    if args.shards > 1 and _reject_profile_with_workers(args, "--shards > 1"):
+        return 2
     config = paper_config(args.app, nranks=args.ranks,
                           timeslice=args.timeslice,
                           run_duration=args.duration,
@@ -353,6 +433,9 @@ def cmd_sweep(args, out) -> int:
     timeslices = [float(t) for t in args.timeslices.split(",") if t]
     if not timeslices:
         print("no timeslices given", file=sys.stderr)
+        return 2
+    if (args.jobs > 1 or args.shards > 1) and _reject_profile_with_workers(
+            args, "--jobs/--shards > 1"):
         return 2
     cache = None if args.no_cache else default_cache(args.cache_dir)
     config = paper_config(args.app, nranks=args.ranks,
@@ -561,6 +644,60 @@ def cmd_obs_view(args, out) -> int:
     return 0
 
 
+def cmd_obs_top(args, out) -> int:
+    """``obs top``: render a saved profile (exit 2 on a bad file)."""
+    from repro.errors import ObservabilityError
+    from repro.obs import load_profile, render_profile
+
+    try:
+        profile = load_profile(args.profile)
+    except ObservabilityError as exc:
+        print(f"bad profile: {exc}", file=sys.stderr)
+        return 2
+    print(render_profile(profile, top=args.top, by=args.by), file=out)
+    return 0
+
+
+def cmd_obs_critpath(args, out) -> int:
+    """``obs critpath``: per-timeslice verdicts (exit 2 on a bad file)."""
+    from repro.errors import ObservabilityError
+    from repro.obs import load_trace_events
+    from repro.obs.critpath import extract_critical_path, render_critpath
+
+    try:
+        events = load_trace_events(args.trace)
+    except ObservabilityError as exc:
+        print(f"bad trace: {exc}", file=sys.stderr)
+        return 2
+    result = extract_critical_path(events)
+    if args.json:
+        import json
+        print(json.dumps(result, indent=2), file=out)
+    else:
+        print(render_critpath(result, limit=args.limit), file=out)
+    return 0
+
+
+def cmd_obs_diff(args, out) -> int:
+    """``obs diff``: compare two artifacts; exit 0 when they agree on
+    every gated value, 1 on regressions, 2 on unreadable/mixed input."""
+    from repro.errors import ObservabilityError
+    from repro.obs.diff import diff_artifacts, render_diff
+
+    try:
+        report = diff_artifacts(args.a, args.b, threshold=args.threshold,
+                                strict=args.strict)
+    except ObservabilityError as exc:
+        print(f"cannot diff: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        import json
+        from pathlib import Path
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+    print(render_diff(report), file=out)
+    return 1 if report["regressions"] else 0
+
+
 def cmd_validate(args, out) -> int:
     """``validate``: calibration drift check (exit 1 on drift)."""
     from repro.apps.validation import summarize, validate_all, validate_app
@@ -593,7 +730,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.command == "ckpt":
         return cmd_ckpt_verify(args, out)
     if args.command == "obs":
-        return cmd_obs_view(args, out)
+        handlers = {"view": cmd_obs_view, "top": cmd_obs_top,
+                    "critpath": cmd_obs_critpath, "diff": cmd_obs_diff}
+        return handlers[args.obs_command](args, out)
     if args.command == "validate":
         return cmd_validate(args, out)
     if args.command == "report":

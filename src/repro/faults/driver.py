@@ -474,6 +474,8 @@ class FailureRecoveryDriver:
                 seq=bad.seq, reason=bad.reason, rejected_seq=seq))
             if self.obs.enabled:
                 self.obs.metrics.counter("ckpt.integrity.detected").inc()
+                self.obs.metrics.series("ckpt.integrity.detected_at").record(
+                    detected_at)
         if not intact and self.obs.enabled:
             self.obs.metrics.counter("ckpt.integrity.walkbacks").inc()
         return intact

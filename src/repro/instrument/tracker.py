@@ -151,6 +151,8 @@ class DirtyPageTracker:
                 m.counter("instrument.pages_dirtied"),
                 m.counter("instrument.pages_protected"),
                 m.counter("instrument.faults"),
+                m.series("instrument.iws_bytes"),
+                m.series("instrument.dirty_pages"),
             )
         return cache
 
@@ -187,7 +189,7 @@ class DirtyPageTracker:
         self._charge(protected * self.config.reprotect_cost_per_page)
         if obs.enabled:
             (_, tracer, ctr_slices, ctr_dirtied, ctr_protected,
-             ctr_faults) = self._alarm_obs(obs)
+             ctr_faults, ser_iws, ser_dirty) = self._alarm_obs(obs)
             if tracer is not None:
                 tracer.instant("timeslice", "timeslice", now,
                                track=self._track,
@@ -199,6 +201,8 @@ class DirtyPageTracker:
             ctr_dirtied.inc(iws_pages)
             ctr_protected.inc(protected)
             ctr_faults.inc(faults)
+            ser_iws.record(now, iws_bytes)
+            ser_dirty.record(now, iws_pages)
             if obs.progress is not None:
                 obs.progress.on_slice(self.log.rank, record, now)
 

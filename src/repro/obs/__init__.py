@@ -31,8 +31,9 @@ byte-identical with or without the plumbing.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               ScopedMetrics)
+                               ScopedMetrics, WindowedSeries)
 from repro.obs.probe import ProgressReporter, probe
+from repro.obs.prof import EngineProfiler, load_profile, render_profile
 from repro.obs.tracer import (DEFAULT_CATEGORIES, ENGINE_DISPATCH,
                               NULL_TRACER, NullTracer, Tracer,
                               strip_wall_times)
@@ -50,14 +51,18 @@ class Observability:
     attribute read per site.
     """
 
-    __slots__ = ("tracer", "metrics", "progress", "enabled")
+    __slots__ = ("tracer", "metrics", "progress", "profiler", "enabled")
 
-    def __init__(self, tracer=None, metrics=None, progress=None):
+    def __init__(self, tracer=None, metrics=None, progress=None,
+                 profiler=None):
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
         self.progress = progress
+        #: an EngineProfiler, attached by every Engine built with this
+        #: obs (None: the hot loop keeps its empty-hook-list fast path)
+        self.profiler = profiler
         self.enabled = bool(self.tracer.enabled or metrics is not None
-                            or progress is not None)
+                            or progress is not None or profiler is not None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
@@ -72,6 +77,7 @@ __all__ = [
     "Counter",
     "DEFAULT_CATEGORIES",
     "ENGINE_DISPATCH",
+    "EngineProfiler",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -82,8 +88,11 @@ __all__ = [
     "ProgressReporter",
     "ScopedMetrics",
     "Tracer",
+    "WindowedSeries",
+    "load_profile",
     "load_trace_events",
     "probe",
+    "render_profile",
     "strip_wall_times",
     "summarize_trace",
 ]

@@ -1,0 +1,190 @@
+"""Sim-time critical-path extraction: what bounds each timeslice?
+
+Walks an exported trace (the ``--trace-out`` file) and reports, per
+timeslice, which dependency chain bounded the slice's completion:
+
+- **app-compute** -- the slice is dominated by computation; checkpoint
+  traffic (if any) fit in its shadow;
+- **drain-backpressure** -- checkpoint frames (``ckpt.frame`` spans)
+  and sink writes on ``ckpt-*`` tracks occupied most of the slice, or
+  spilled past its boundary -- the PR 5 drain queue is the bound;
+- **network-contention** -- application messages (``net.send``) and
+  checkpoint frames overlapped on the wire for a meaningful fraction
+  of the slice: the transport's contention attribution, as a per-slice
+  verdict.
+
+Slice boundaries come from the ``timeslice`` instants of one reference
+rank track (the track with the most instants; ties break by name), so
+the verdicts line up with the paper's per-timeslice measurements.  All
+arithmetic is on sim time -- the analysis of a same-seed trace is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.view import _track_names
+
+#: drain occupancy fraction past which a slice is drain-bound
+DRAIN_THRESHOLD = 0.5
+#: drain occupancy fraction that, combined with a frame spilling past
+#: the slice boundary, still counts as backpressure
+DRAIN_SPILL_THRESHOLD = 0.25
+#: app-message / checkpoint-frame wire overlap fraction past which a
+#: slice is contention-bound
+CONTENTION_THRESHOLD = 0.05
+
+
+def _union(intervals: list) -> float:
+    """Total length of the union of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        elif hi > cur_hi:
+            cur_hi = hi
+    return total + (cur_hi - cur_lo)
+
+
+def _clip(spans: list, lo: float, hi: float) -> list:
+    """Spans intersected with the window [lo, hi)."""
+    out = []
+    for start, end in spans:
+        s, e = max(start, lo), min(end, hi)
+        if e > s:
+            out.append((s, e))
+    return out
+
+
+def _overlap(a: list, b: list) -> float:
+    """Union length of the pairwise intersection of two span lists."""
+    pieces = []
+    for s1, e1 in a:
+        for s2, e2 in b:
+            lo, hi = max(s1, s2), min(e1, e2)
+            if hi > lo:
+                pieces.append((lo, hi))
+    return _union(pieces)
+
+
+def extract_critical_path(events: list[dict], *,
+                          drain_threshold: float = DRAIN_THRESHOLD,
+                          contention_threshold: float = CONTENTION_THRESHOLD,
+                          ) -> dict:
+    """Per-timeslice critical-path verdicts from one trace event list.
+
+    Returns ``{"schema", "track", "slices": [...], "verdicts": {...}}``;
+    ``slices`` is empty (with a ``note``) when the trace carries no
+    timeslice instants.
+    """
+    tracks = _track_names(events)
+    per_track: dict[Optional[int], list[dict]] = {}
+    drain_spans: list[tuple] = []
+    net_spans: list[tuple] = []
+    for ev in events:
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph in ("i", "I") and name == "timeslice":
+            per_track.setdefault(ev.get("tid"), []).append(ev)
+        elif ph == "X":
+            start = ev.get("ts", 0.0) / 1e6
+            end = start + ev.get("dur", 0.0) / 1e6
+            if name == "ckpt.frame":
+                drain_spans.append((start, end))
+            elif name == "disk.write" and tracks.get(
+                    ev.get("tid"), "").startswith("ckpt-"):
+                drain_spans.append((start, end))
+            elif name == "net.send":
+                net_spans.append((start, end))
+    if not per_track:
+        return {"schema": "repro.obs.critpath/1", "track": None,
+                "slices": [], "verdicts": {},
+                "note": "no timeslice instants in trace (run with "
+                        "--trace-out and a timeslice workload)"}
+
+    ref_tid = min(per_track,
+                  key=lambda tid: (-len(per_track[tid]),
+                                   tracks.get(tid, ""), tid))
+    instants = sorted(per_track[ref_tid], key=lambda ev: ev["ts"])
+    t_first = min((ev.get("ts", 0.0) for ev in events
+                   if ev.get("ph") in ("i", "I", "X")), default=0.0) / 1e6
+
+    drain_spans.sort()
+    net_spans.sort()
+    slices = []
+    prev = t_first
+    for ev in instants:
+        end = ev["ts"] / 1e6
+        dur = end - prev
+        if dur <= 0:
+            prev = end
+            continue
+        drain_clip = _clip(drain_spans, prev, end)
+        net_clip = _clip(net_spans, prev, end)
+        drain_busy = _union(list(drain_clip))
+        net_busy = _union(list(net_clip))
+        overlap = _overlap(drain_clip, net_clip)
+        spills = any(s < end < e for s, e in drain_spans)
+        drain_frac = drain_busy / dur
+        if drain_frac >= drain_threshold or (
+                spills and drain_frac >= DRAIN_SPILL_THRESHOLD):
+            verdict = "drain-backpressure"
+        elif overlap / dur >= contention_threshold:
+            verdict = "network-contention"
+        else:
+            verdict = "app-compute"
+        slices.append({
+            "index": ev.get("args", {}).get("index", len(slices)),
+            "t_start": prev,
+            "t_end": end,
+            "dur_s": dur,
+            "drain_busy_s": drain_busy,
+            "net_busy_s": net_busy,
+            "overlap_s": overlap,
+            "drain_spills_boundary": spills,
+            "verdict": verdict,
+        })
+        prev = end
+
+    verdicts: dict[str, int] = {}
+    for s in slices:
+        verdicts[s["verdict"]] = verdicts.get(s["verdict"], 0) + 1
+    return {"schema": "repro.obs.critpath/1",
+            "track": tracks.get(ref_tid, str(ref_tid)),
+            "slices": slices, "verdicts": verdicts}
+
+
+def render_critpath(result: dict, limit: int = 30) -> str:
+    """Terminal rendering of :func:`extract_critical_path`'s result."""
+    slices = result["slices"]
+    if not slices:
+        return result.get("note", "no timeslices")
+    lines = [
+        f"critical path over {len(slices)} timeslice(s) "
+        f"(reference track {result['track']}):",
+        f"  {'slice':>5s} {'window':>19s} {'drain':>8s} {'net':>8s} "
+        f"{'overlap':>8s}  verdict",
+    ]
+    shown = slices[:limit]
+    for s in shown:
+        spill = " >|" if s["drain_spills_boundary"] else ""
+        lines.append(
+            f"  {s['index']:5d} {s['t_start']:8.2f}s..{s['t_end']:8.2f}s "
+            f"{s['drain_busy_s']:7.3f}s {s['net_busy_s']:7.3f}s "
+            f"{s['overlap_s']:7.3f}s  {s['verdict']}{spill}")
+    if len(slices) > limit:
+        lines.append(f"  ... {len(slices) - limit} more slice(s) "
+                     f"(raise --limit)")
+    lines.append("")
+    parts = [f"{count} {name}" for name, count in
+             sorted(result["verdicts"].items(), key=lambda kv: (-kv[1], kv[0]))]
+    lines.append("verdicts: " + ", ".join(parts))
+    bound = max(result["verdicts"].items(), key=lambda kv: (kv[1], kv[0]))[0]
+    lines.append(f"run is predominantly {bound}-bound")
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Cross-run artifact diffing: did anything change between two runs?
+
+``repro obs diff A B`` compares two observability artifacts of the
+same schema -- metrics snapshots (``--metrics-out``) or profiles
+(``--profile-out``) -- and reports every *deterministic* value whose
+relative change exceeds a configurable threshold.  Wall-clock-derived
+values (histogram sums/means, profile self/cum seconds) vary run to
+run on a shared host, so by default only the sim-determined values are
+gated and the wall values are reported informationally:
+
+- metrics: counter and gauge values, histogram *counts*, series
+  counts/sums;
+- profiles: per-category event counts, total event/section counts.
+
+Two same-seed runs therefore diff clean (zero regressions) -- the
+determinism contract, now checkable from artifacts alone.  ``--strict``
+gates the wall values too, for same-machine A/B timing comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ObservabilityError
+from repro.obs.prof import PROFILE_SCHEMA
+
+DIFF_SCHEMA = "repro.obs.diff/1"
+
+#: histogram snapshot fields measured in host wall time
+_HIST_WALL_FIELDS = ("sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def load_artifact(path: Union[str, Path]) -> tuple[str, dict]:
+    """Read one artifact and detect its schema: ``("profile", data)``
+    or ``("metrics", data)``.  Raises ObservabilityError otherwise."""
+    path = Path(path)
+    if not path.is_file():
+        raise ObservabilityError(f"no artifact file at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ObservabilityError(f"bad artifact {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ObservabilityError(
+            f"{path}: expected a JSON object, got {type(data).__name__}")
+    if data.get("schema") == PROFILE_SCHEMA:
+        return ("profile", data)
+    if data and all(isinstance(v, dict) and "kind" in v
+                    for v in data.values()):
+        return ("metrics", data)
+    raise ObservabilityError(
+        f"{path} is neither a metrics snapshot nor a "
+        f"{PROFILE_SCHEMA} profile")
+
+
+def _metrics_values(data: dict) -> tuple[dict, dict]:
+    """(gated, informational) flat value maps of a metrics snapshot."""
+    gated, wall = {}, {}
+    for name, entry in data.items():
+        kind = entry.get("kind")
+        if kind == "histogram":
+            gated[f"{name}.count"] = entry.get("count")
+            for field in _HIST_WALL_FIELDS:
+                if entry.get(field) is not None:
+                    wall[f"{name}.{field}"] = entry[field]
+        elif kind == "series":
+            gated[f"{name}.count"] = entry.get("count")
+            gated[f"{name}.sum"] = entry.get("sum")
+        else:
+            gated[name] = entry.get("value")
+    return gated, wall
+
+
+def _profile_values(data: dict) -> tuple[dict, dict]:
+    """(gated, informational) flat value maps of a profile artifact."""
+    gated = {"events": data.get("events"),
+             "sections": data.get("sections")}
+    wall = {"wall_total_s": data.get("wall_total_s"),
+            "coverage": data.get("coverage")}
+    for cat in data.get("categories", []):
+        key = f"{cat['subsystem']}.{cat['kind']}.{cat['ranks']}"
+        gated[f"{key}.count"] = cat.get("count")
+        wall[f"{key}.self_s"] = cat.get("self_s")
+    return gated, wall
+
+
+def _compare(a: dict, b: dict, threshold: float) -> list[dict]:
+    """Every key whose value changed beyond ``threshold`` (relative)."""
+    changes = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va == vb:
+            continue
+        if va is None or vb is None:
+            changes.append({"key": key, "a": va, "b": vb,
+                            "rel_change": None})
+            continue
+        if not (isinstance(va, (int, float)) and isinstance(vb, (int, float))):
+            changes.append({"key": key, "a": va, "b": vb,
+                            "rel_change": None})
+            continue
+        rel = (vb - va) / abs(va) if va else float("inf")
+        if abs(rel) > threshold:
+            changes.append({"key": key, "a": va, "b": vb,
+                            "rel_change": rel})
+    return changes
+
+
+def diff_artifacts(path_a: Union[str, Path], path_b: Union[str, Path], *,
+                   threshold: float = 0.0, strict: bool = False) -> dict:
+    """Compare two artifacts; the machine-readable regression report.
+
+    ``regressions`` lists gated (deterministic) values that moved more
+    than ``threshold``; ``informational`` lists wall-time values that
+    moved (never gated unless ``strict``).  Mixed schemas raise."""
+    kind_a, data_a = load_artifact(path_a)
+    kind_b, data_b = load_artifact(path_b)
+    if kind_a != kind_b:
+        raise ObservabilityError(
+            f"mixed artifact schemas: {path_a} is a {kind_a}, "
+            f"{path_b} is a {kind_b} -- not comparable")
+    extract = _profile_values if kind_a == "profile" else _metrics_values
+    gated_a, wall_a = extract(data_a)
+    gated_b, wall_b = extract(data_b)
+    regressions = _compare(gated_a, gated_b, threshold)
+    informational = _compare(wall_a, wall_b, threshold)
+    if strict:
+        regressions = regressions + informational
+        informational = []
+    return {
+        "schema": DIFF_SCHEMA,
+        "artifact": kind_a,
+        "a": str(path_a),
+        "b": str(path_b),
+        "threshold": threshold,
+        "strict": strict,
+        "compared": len(set(gated_a) | set(gated_b)),
+        "regressions": regressions,
+        "informational": informational,
+    }
+
+
+def render_diff(report: dict, limit: int = 25) -> str:
+    """Terminal rendering of :func:`diff_artifacts`'s report."""
+
+    def fmt(change: dict) -> str:
+        rel = change["rel_change"]
+        pct = "" if rel is None else (
+            " (inf)" if rel == float("inf") else f" ({rel:+.1%})")
+        return f"    {change['key']}: {change['a']} -> {change['b']}{pct}"
+
+    regressions = report["regressions"]
+    info = report["informational"]
+    lines = [
+        f"diff: {report['artifact']} artifacts {report['a']} vs "
+        f"{report['b']} (threshold {report['threshold']:.1%}"
+        + (", strict)" if report["strict"] else ")"),
+        f"  {report['compared']} gated value(s) compared, "
+        f"{len(regressions)} regression(s)",
+    ]
+    for change in regressions[:limit]:
+        lines.append(fmt(change))
+    if len(regressions) > limit:
+        lines.append(f"    ... {len(regressions) - limit} more")
+    if info:
+        lines.append(f"  {len(info)} wall-time value(s) changed "
+                     f"(informational, not gated):")
+        for change in info[:5]:
+            lines.append(fmt(change))
+        if len(info) > 5:
+            lines.append(f"    ... {len(info) - 5} more")
+    if not regressions:
+        lines.append("  no regressions: artifacts agree on every gated value")
+    return "\n".join(lines)

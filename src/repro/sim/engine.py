@@ -130,6 +130,11 @@ class Engine:
         self.obs = NULL_OBS if obs is None else obs
         #: profiling hooks called with each Event after it fires
         self._event_hooks: list[Callable[[Event], None]] = []
+        # a profiler on the obs bundle observes every engine built with
+        # it -- including the fault driver's per-life engines
+        profiler = self.obs.profiler
+        if profiler is not None:
+            profiler.attach(self)
         # lifetime stats (reset with reset_stats(), never by run():
         # the fault driver resumes stopped runs and counts must span them)
         self._n_dispatched = 0

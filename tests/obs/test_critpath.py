@@ -1,0 +1,113 @@
+"""Sim-time critical-path extraction over synthetic traces."""
+
+from repro.obs.critpath import (
+    _overlap,
+    _union,
+    extract_critical_path,
+    render_critpath,
+)
+
+
+def _meta(tid, name):
+    return {"ph": "M", "name": "thread_name", "tid": tid,
+            "args": {"name": name}}
+
+
+def _instant(tid, t, index):
+    return {"ph": "i", "name": "timeslice", "tid": tid, "ts": t * 1e6,
+            "args": {"index": index}}
+
+
+def _span(tid, name, start, dur):
+    return {"ph": "X", "name": name, "tid": tid, "ts": start * 1e6,
+            "dur": dur * 1e6}
+
+
+def _base_trace():
+    """Two timeslices [0,1) and [1,2) on rank0 (tid 1 is the busiest
+    track), plus a sparser track that must NOT be picked as reference."""
+    return [
+        _meta(1, "rank0"), _meta(2, "rank1"), _meta(3, "ckpt-disk"),
+        _instant(1, 0.0, 0), _instant(1, 1.0, 1), _instant(1, 2.0, 2),
+        _instant(2, 2.0, 1),
+    ]
+
+
+def test_interval_helpers():
+    assert _union([]) == 0.0
+    assert _union([(0, 1), (0.5, 2), (3, 4)]) == 3.0
+    assert _overlap([(0, 2)], [(1, 3)]) == 1.0
+    assert _overlap([(0, 1)], [(2, 3)]) == 0.0
+
+
+def test_app_compute_when_no_checkpoint_traffic():
+    result = extract_critical_path(_base_trace())
+    assert result["track"] == "rank0"
+    # the instant at t=0 opens the window; two real slices follow
+    assert [s["verdict"] for s in result["slices"]] == \
+        ["app-compute", "app-compute"]
+    assert result["verdicts"] == {"app-compute": 2}
+
+
+def test_drain_backpressure_when_frames_fill_the_slice():
+    events = _base_trace() + [
+        _span(3, "ckpt.frame", 1.1, 0.7),    # 70% of slice [1,2)
+    ]
+    result = extract_critical_path(events)
+    verdicts = [s["verdict"] for s in result["slices"]]
+    assert verdicts[0] == "app-compute"      # slice [0,1) untouched
+    assert verdicts[1] == "drain-backpressure"
+
+
+def test_drain_spill_lowers_the_threshold():
+    # 30% occupancy alone is app-compute, but the frame crosses the
+    # slice boundary: the drain is still holding the slice open
+    events = _base_trace() + [
+        _span(3, "ckpt.frame", 1.7, 0.6),    # 1.7..2.3 spills past 2.0
+    ]
+    result = extract_critical_path(events)
+    assert result["slices"][1]["verdict"] == "drain-backpressure"
+    assert result["slices"][1]["drain_spills_boundary"]
+
+
+def test_ckpt_disk_writes_count_as_drain_only_on_ckpt_tracks():
+    busy = [_span(3, "disk.write", 1.0, 0.8)]          # ckpt-disk track
+    inert = [_span(2, "disk.write", 1.0, 0.8)]         # rank1 track
+    assert extract_critical_path(_base_trace() + busy)["slices"][1][
+        "verdict"] == "drain-backpressure"
+    assert extract_critical_path(_base_trace() + inert)["slices"][1][
+        "verdict"] == "app-compute"
+
+
+def test_network_contention_when_sends_overlap_frames():
+    events = _base_trace() + [
+        _span(3, "ckpt.frame", 1.0, 0.3),    # 30%: below drain threshold
+        _span(2, "net.send", 1.1, 0.2),      # overlaps 0.2s = 20% > 5%
+    ]
+    result = extract_critical_path(events)
+    s = result["slices"][1]
+    assert s["verdict"] == "network-contention"
+    assert abs(s["overlap_s"] - 0.2) < 1e-9
+
+
+def test_empty_and_timeslice_free_traces():
+    empty = extract_critical_path([])
+    assert empty["slices"] == []
+    assert "no timeslice instants" in empty["note"]
+    assert "no timeslice" in render_critpath(empty)
+    spans_only = extract_critical_path(
+        [_meta(1, "rank0"), _span(1, "net.send", 0.0, 1.0)])
+    assert spans_only["slices"] == []
+
+
+def test_render_limits_and_summary():
+    events = _base_trace() + [_span(3, "ckpt.frame", 1.0, 0.9)]
+    result = extract_critical_path(events)
+    text = render_critpath(result, limit=1)
+    assert "1 more slice(s)" in text
+    assert "verdicts:" in text
+    # 1 app-compute vs 1 drain-backpressure: ties break by name
+    assert "predominantly drain-backpressure-bound" in text
+    full = render_critpath(result)
+    assert ">|" not in full or any(
+        s["drain_spills_boundary"] for s in result["slices"])

@@ -1,0 +1,138 @@
+"""Cross-run artifact diffing: gated vs informational values, schema
+detection, thresholds, and the determinism contract."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.diff import diff_artifacts, load_artifact, render_diff
+
+
+def _metrics(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps(entries))
+    return path
+
+
+def _snapshot(counter=5, hist_count=3, hist_sum=1.5, series_sum=10.0):
+    return {
+        "a.counter": {"kind": "counter", "value": counter},
+        "a.gauge": {"kind": "gauge", "value": 2},
+        "a.hist": {"kind": "histogram", "count": hist_count,
+                   "sum": hist_sum, "min": 0.1, "max": 1.0, "mean": 0.5},
+        "a.series": {"kind": "series", "window": 1.0, "count": 4,
+                     "sum": series_sum, "windows": []},
+    }
+
+
+def _profile(events=10, cat_count=7, self_s=0.5):
+    return {
+        "schema": "repro.obs.profile/1",
+        "wall_total_s": 1.0, "wall_attributed_s": 1.0, "coverage": 1.0,
+        "events": events, "sections": 0, "rank_group_size": 64,
+        "categories": [{"subsystem": "sim", "kind": "process.resume",
+                        "ranks": "r0-63", "count": cat_count,
+                        "self_s": self_s, "cum_s": self_s}],
+        "subsystems": {},
+    }
+
+
+def test_load_artifact_detects_schemas(tmp_path):
+    m = _metrics(tmp_path, "m.json", _snapshot())
+    p = _metrics(tmp_path, "p.json", _profile())
+    assert load_artifact(m)[0] == "metrics"
+    assert load_artifact(p)[0] == "profile"
+
+
+def test_load_artifact_rejects_bad_input(tmp_path):
+    with pytest.raises(ObservabilityError, match="no artifact file"):
+        load_artifact(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ObservabilityError, match="bad artifact"):
+        load_artifact(bad)
+    arr = tmp_path / "arr.json"
+    arr.write_text("[1, 2]")
+    with pytest.raises(ObservabilityError, match="JSON object"):
+        load_artifact(arr)
+    other = _metrics(tmp_path, "other.json", {"free": "form"})
+    with pytest.raises(ObservabilityError, match="neither"):
+        load_artifact(other)
+
+
+def test_identical_metrics_diff_clean(tmp_path):
+    a = _metrics(tmp_path, "a.json", _snapshot())
+    b = _metrics(tmp_path, "b.json", _snapshot())
+    report = diff_artifacts(a, b)
+    assert report["regressions"] == []
+    assert report["informational"] == []
+    assert "no regressions" in render_diff(report)
+
+
+def test_counter_change_is_a_regression(tmp_path):
+    a = _metrics(tmp_path, "a.json", _snapshot(counter=5))
+    b = _metrics(tmp_path, "b.json", _snapshot(counter=6))
+    report = diff_artifacts(a, b)
+    (reg,) = report["regressions"]
+    assert reg["key"] == "a.counter"
+    assert reg["rel_change"] == pytest.approx(0.2)
+    assert "a.counter: 5 -> 6" in render_diff(report)
+
+
+def test_threshold_suppresses_small_changes(tmp_path):
+    a = _metrics(tmp_path, "a.json", _snapshot(counter=100))
+    b = _metrics(tmp_path, "b.json", _snapshot(counter=104))
+    assert diff_artifacts(a, b, threshold=0.05)["regressions"] == []
+    assert diff_artifacts(a, b, threshold=0.01)["regressions"]
+
+
+def test_wall_values_informational_unless_strict(tmp_path):
+    a = _metrics(tmp_path, "a.json", _snapshot(hist_sum=1.5))
+    b = _metrics(tmp_path, "b.json", _snapshot(hist_sum=9.9))
+    report = diff_artifacts(a, b)
+    assert report["regressions"] == []
+    assert any(c["key"] == "a.hist.sum" for c in report["informational"])
+    assert "informational" in render_diff(report)
+    strict = diff_artifacts(a, b, strict=True)
+    assert any(c["key"] == "a.hist.sum" for c in strict["regressions"])
+    assert strict["informational"] == []
+
+
+def test_missing_key_always_reported(tmp_path):
+    snap = _snapshot()
+    extra = dict(snap)
+    extra["only.b"] = {"kind": "counter", "value": 1}
+    a = _metrics(tmp_path, "a.json", snap)
+    b = _metrics(tmp_path, "b.json", extra)
+    (reg,) = diff_artifacts(a, b, threshold=10.0)["regressions"]
+    assert reg["key"] == "only.b"
+    assert reg["a"] is None and reg["rel_change"] is None
+
+
+def test_profile_counts_gated_wall_seconds_not(tmp_path):
+    a = _metrics(tmp_path, "a.json", _profile(cat_count=7, self_s=0.5))
+    b = _metrics(tmp_path, "b.json", _profile(cat_count=8, self_s=0.9))
+    report = diff_artifacts(a, b)
+    keys = {c["key"] for c in report["regressions"]}
+    assert "sim.process.resume.r0-63.count" in keys
+    assert all(not k.endswith("self_s") for k in keys)
+    info_keys = {c["key"] for c in report["informational"]}
+    assert "sim.process.resume.r0-63.self_s" in info_keys
+
+
+def test_mixed_schemas_raise(tmp_path):
+    m = _metrics(tmp_path, "m.json", _snapshot())
+    p = _metrics(tmp_path, "p.json", _profile())
+    with pytest.raises(ObservabilityError, match="mixed artifact schemas"):
+        diff_artifacts(m, p)
+
+
+def test_zero_baseline_reports_inf(tmp_path):
+    a = _metrics(tmp_path, "a.json",
+                 {"c": {"kind": "counter", "value": 0}})
+    b = _metrics(tmp_path, "b.json",
+                 {"c": {"kind": "counter", "value": 3}})
+    (reg,) = diff_artifacts(a, b, threshold=100.0)["regressions"]
+    assert reg["rel_change"] == float("inf")
+    assert "(inf)" in render_diff({**diff_artifacts(a, b)})

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, \
+    WindowedSeries
 
 
 def test_counter_increments_and_rejects_decrease():
@@ -101,3 +102,145 @@ def test_contains_and_names():
     assert "present" in reg
     assert "absent" not in reg
     assert reg.names() == ["present"]
+
+
+# -- histogram quantiles (bounded deterministic reservoir) ---------------------
+
+def test_histogram_quantiles_nearest_rank():
+    h = Histogram("lat")
+    for v in range(1, 101):          # 1..100
+        h.observe(float(v))
+    assert h.quantile(0.5) == 50.0
+    assert h.p50 == 50.0
+    assert h.p95 == 95.0
+    assert h.p99 == 99.0
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 100.0
+
+
+def test_histogram_quantile_empty_and_bad_q():
+    h = Histogram("empty")
+    assert h.quantile(0.5) is None
+    assert h.p95 is None
+    h.observe(1.0)
+    with pytest.raises(ObservabilityError, match="quantile"):
+        h.quantile(1.5)
+    with pytest.raises(ObservabilityError, match="quantile"):
+        h.quantile(-0.1)
+
+
+def test_histogram_reservoir_decimation_is_deterministic():
+    a, b = Histogram("a"), Histogram("b")
+    for v in range(5000):
+        a.observe(float(v))
+        b.observe(float(v))
+    # decimation kept the reservoir bounded...
+    assert len(a._reservoir) <= 512
+    # ...and two identical streams yield identical quantiles
+    for q in (0.5, 0.95, 0.99):
+        assert a.quantile(q) == b.quantile(q)
+    # quantiles stay representative of the full stream
+    assert 2000 <= a.p50 <= 3000
+
+
+def test_snapshot_includes_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("h").observe(2.0)
+    entry = reg.snapshot()["h"]
+    assert entry["p50"] == 2.0
+    assert entry["p95"] == 2.0
+    assert entry["p99"] == 2.0
+
+
+def test_gauge_add_and_negative_delta():
+    g = MetricsRegistry().gauge("q")
+    g.set(10)
+    g.add(5)
+    g.add(-3)
+    assert g.value == 12
+
+
+# -- windowed series -----------------------------------------------------------
+
+def test_series_records_into_fixed_windows():
+    reg = MetricsRegistry()
+    s = reg.series("drain", window=1.0)
+    s.record(0.2, 10.0)
+    s.record(0.9, 30.0)
+    s.record(2.5, 7.0)
+    assert s.count == 3 and s.total == 47.0
+    w = s.windows()
+    assert [x["index"] for x in w] == [0, 2]
+    assert w[0] == {"index": 0, "t_start": 0.0, "t_end": 1.0,
+                    "count": 2, "sum": 40.0, "min": 10.0, "max": 30.0}
+    assert w[1]["count"] == 1 and w[1]["sum"] == 7.0
+
+
+def test_series_capacity_evicts_oldest_windows():
+    s = WindowedSeries("s", window=1.0, capacity=3)
+    for t in range(6):
+        s.record(float(t))
+    assert [w["index"] for w in s.windows()] == [3, 4, 5]
+    assert s.count == 6                   # lifetime totals survive eviction
+
+
+def test_series_out_of_order_folds_or_drops():
+    s = WindowedSeries("s", window=1.0, capacity=8)
+    s.record(0.5, 1.0)
+    s.record(2.5, 1.0)
+    s.record(0.7, 5.0)                    # retained window: folds
+    assert s.windows()[0]["sum"] == 6.0
+    evicting = WindowedSeries("e", window=1.0, capacity=2)
+    for t in (0.5, 1.5, 2.5):
+        evicting.record(t)
+    evicting.record(0.6)                  # window 0 evicted: dropped
+    assert [w["index"] for w in evicting.windows()] == [1, 2]
+    assert evicting.count == 4            # still counted in the totals
+
+
+def test_series_get_or_create_and_mismatches():
+    reg = MetricsRegistry()
+    s = reg.series("x", window=1.0)
+    assert reg.series("x", window=1.0) is s
+    with pytest.raises(ObservabilityError, match="window"):
+        reg.series("x", window=2.0)
+    reg.counter("c")
+    with pytest.raises(ObservabilityError, match="already registered"):
+        reg.series("c")
+    with pytest.raises(ObservabilityError):
+        WindowedSeries("bad", window=0.0)
+    with pytest.raises(ObservabilityError):
+        WindowedSeries("bad", capacity=0)
+
+
+def test_series_in_snapshot_and_render_text():
+    reg = MetricsRegistry()
+    reg.series("s").record(1.5, 2.0)
+    snap = reg.snapshot()["s"]
+    assert snap["kind"] == "series"
+    assert snap["count"] == 1 and snap["sum"] == 2.0
+    assert snap["windows"] == 1       # retained-window count, not the data
+    assert "s" in reg.render_text()
+    json.dumps(reg.snapshot())            # must stay JSON-able
+
+
+def test_dump_series_jsonl(tmp_path):
+    reg = MetricsRegistry()
+    reg.series("a").record(0.5, 1.0)
+    reg.series("a").record(3.5, 2.0)
+    reg.series("b").record(1.5, 9.0)
+    path = reg.dump_series(tmp_path / "series.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 3
+    assert lines[0]["series"] == "a" and lines[0]["index"] == 0
+    assert lines[2]["series"] == "b" and lines[2]["sum"] == 9.0
+    for line in lines:
+        assert set(line) == {"series", "window", "index", "t_start",
+                             "t_end", "count", "sum", "min", "max"}
+
+
+def test_scoped_series():
+    reg = MetricsRegistry()
+    reg.scoped("ckpt").series("drained").record(0.5, 4.0)
+    assert reg.names() == ["ckpt.drained"]
+    assert reg.series("ckpt.drained").total == 4.0

@@ -1,0 +1,160 @@
+"""Trajectory-aware bench gating (tools/bench_history.py): record,
+median-based check, and the README table generator."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_history.py"
+
+
+@pytest.fixture(scope="module")
+def bh():
+    spec = importlib.util.spec_from_file_location("bench_history", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench_record(run_events=400_000, fig5=2.0, quick=True):
+    return {
+        "quick": quick,
+        "engine": {"run_events_per_s": run_events,
+                   "schedule_events_per_s": 300_000,
+                   "churn_events_per_s": 200_000},
+        "sweep": {"serial_cold_s": 0.2, "parallel_cold_s": 0.25,
+                  "warm_cache_s": 0.1, "bit_identical_across_modes": True},
+        "fig5": {"row_s": fig5},
+        "scale": {"row_s": 3.0, "per_rank_throughput_gain": 0.8},
+    }
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_flatten_extracts_only_gated_metrics(bh):
+    flat = bh.flatten(_bench_record())
+    assert flat["engine.run_events_per_s"] == 400_000
+    assert flat["fig5.row_s"] == 2.0
+    assert "sweep.bit_identical_across_modes" not in flat
+
+
+def test_record_appends_history_lines(bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    current = _write(tmp_path, "bench.json", _bench_record())
+    for label in ("PR A", "PR B"):
+        assert bh.main(["record", str(current), "--label", label,
+                        "--commit", "abc1234", "--notes", "n",
+                        "--history", str(hist)]) == 0
+    entries = bh.load_history(hist)
+    assert [e["label"] for e in entries] == ["PR A", "PR B"]
+    assert entries[0]["commit"] == "abc1234"
+    assert entries[0]["quick"] is True
+    capsys.readouterr()
+
+
+def test_check_passes_against_median_and_fails_on_regression(
+        bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    # history medians: run_events = 400k (3 entries: 380k, 400k, 420k)
+    for rate in (380_000, 400_000, 420_000):
+        current = _write(tmp_path, "r.json", _bench_record(run_events=rate))
+        bh.main(["record", str(current), "--label", "x",
+                 "--history", str(hist)])
+    ok = _write(tmp_path, "ok.json", _bench_record(run_events=350_000))
+    assert bh.main(["check", str(ok), "--history", str(hist)]) == 0
+    bad = _write(tmp_path, "bad.json", _bench_record(run_events=100_000))
+    assert bh.main(["check", str(bad), "--history", str(hist)]) == 1
+    err = capsys.readouterr().err
+    assert "engine.run_events_per_s regressed" in err
+
+
+def test_check_ignores_other_mode_entries(bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    full = _write(tmp_path, "full.json",
+                  _bench_record(run_events=1_000_000, quick=False))
+    bh.main(["record", str(full), "--label", "full", "--history", str(hist)])
+    # a quick record 10x slower than the full entry still passes: no
+    # same-mode history to gate against
+    quick = _write(tmp_path, "quick.json",
+                   _bench_record(run_events=100_000, quick=True))
+    assert bh.main(["check", str(quick), "--history", str(hist)]) == 0
+    assert "no same-mode" in capsys.readouterr().out
+
+
+def test_check_empty_history_warns_and_passes(bh, tmp_path, capsys):
+    current = _write(tmp_path, "c.json", _bench_record())
+    assert bh.main(["check", str(current),
+                    "--history", str(tmp_path / "none.jsonl")]) == 0
+    capsys.readouterr()
+
+
+def test_check_missing_metric_fails(bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    current = _write(tmp_path, "c.json", _bench_record())
+    bh.main(["record", str(current), "--label", "x", "--history", str(hist)])
+    partial = dict(_bench_record())
+    del partial["fig5"]
+    cur = _write(tmp_path, "partial.json", partial)
+    assert bh.main(["check", str(cur), "--history", str(hist)]) == 1
+    assert "missing from current record" in capsys.readouterr().err
+
+
+def test_corrupt_history_exits_two(bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    hist.write_text("{not json\n")
+    current = _write(tmp_path, "c.json", _bench_record())
+    assert bh.main(["check", str(current), "--history", str(hist)]) == 2
+    assert "bad history line" in capsys.readouterr().err
+
+
+def test_table_renders_and_rewrites_markers(bh, tmp_path, capsys):
+    hist = tmp_path / "h.jsonl"
+    current = _write(tmp_path, "c.json", _bench_record())
+    bh.main(["record", str(current), "--label", "PR X",
+             "--commit", "cafe123", "--history", str(hist)])
+    assert bh.main(["table", "--history", str(hist)]) == 0
+    out = capsys.readouterr().out
+    assert "| `cafe123` PR X |" in out
+    assert "400k" in out
+
+    readme = tmp_path / "README.md"
+    readme.write_text("before\n<!-- bench-history:begin -->\nSTALE\n"
+                      "<!-- bench-history:end -->\nafter\n")
+    assert bh.main(["table", "--history", str(hist),
+                    "--write", str(readme)]) == 0
+    text = readme.read_text()
+    assert "STALE" not in text
+    assert "PR X" in text
+    assert text.startswith("before\n") and text.endswith("after\n")
+    capsys.readouterr()
+
+    unmarked = tmp_path / "plain.md"
+    unmarked.write_text("no markers here\n")
+    assert bh.main(["table", "--history", str(hist),
+                    "--write", str(unmarked)]) == 2
+    assert "markers" in capsys.readouterr().err
+
+
+def test_table_empty_history_exits_two(bh, tmp_path, capsys):
+    assert bh.main(["table", "--history", str(tmp_path / "no.jsonl")]) == 2
+    capsys.readouterr()
+
+
+def test_committed_history_matches_quick_reference(bh):
+    """The seeded history's latest quick entry must agree with the
+    committed quick reference perf_gate.py pins CI to."""
+    history = bh.load_history(bh.HISTORY_DEFAULT)
+    assert history, "benchmarks/perf/BENCH_history.jsonl is missing"
+    quick = [e for e in history if e.get("quick")]
+    assert quick, "no quick-mode entries in the seeded history"
+    ref = json.loads(
+        (bh.ROOT / "benchmarks" / "perf"
+         / "BENCH_quick_reference.json").read_text())
+    expected = bh.flatten(ref)
+    assert quick[-1]["metrics"] == expected

@@ -154,3 +154,152 @@ def test_trace_out_same_seed_sim_identical(tmp_path):
         paths.append(trace)
     a, b = (strip_wall_times(load_trace_events(p)) for p in paths)
     assert a == b
+
+
+# -- performance-attribution commands ------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["obs", "top", "--help"],
+    ["obs", "critpath", "--help"],
+    ["obs", "diff", "--help"],
+])
+def test_obs_analytics_help_exits_zero(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 0
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_profile_and_series_flags_documented(capsys):
+    for sub in (["run"], ["sweep"], ["faults", "run"]):
+        with pytest.raises(SystemExit):
+            main(sub + ["--help"])
+        text = capsys.readouterr().out
+        assert "--profile-out" in text
+        assert "--series-out" in text
+
+
+def test_run_profile_out_then_obs_top(tmp_path):
+    profile = tmp_path / "p.json"
+    code, out = run_cli("run", "--app", "lu", "--ranks", "2",
+                        "--duration", "6", "--profile-out", str(profile))
+    assert code == 0
+    assert "profile written to" in out
+    assert "% of" in out                       # coverage in the summary line
+    code, out = run_cli("obs", "top", str(profile))
+    assert code == 0
+    assert "process.resume" in out
+    code, out = run_cli("obs", "top", str(profile), "--by", "count",
+                        "--top", "3")
+    assert code == 0
+
+
+def test_run_series_out_writes_jsonl(tmp_path):
+    series = tmp_path / "s.jsonl"
+    code, _ = run_cli("run", "--app", "lu", "--ranks", "2",
+                      "--duration", "6", "--series-out", str(series))
+    assert code == 0
+    lines = [json.loads(l) for l in series.read_text().splitlines()]
+    assert lines
+    assert {"series", "index", "count", "sum"} <= set(lines[0])
+    assert any(l["series"] == "instrument.iws_bytes" for l in lines)
+
+
+def test_obs_top_bad_inputs_exit_two(tmp_path, capsys):
+    code, _ = run_cli("obs", "top", str(tmp_path / "missing.json"))
+    assert code == 2
+    assert "bad profile" in capsys.readouterr().err
+    not_profile = tmp_path / "np.json"
+    not_profile.write_text('{"schema": "other"}')
+    code, _ = run_cli("obs", "top", str(not_profile))
+    assert code == 2
+    capsys.readouterr()
+
+
+def test_obs_critpath_on_real_trace(tmp_path):
+    trace = tmp_path / "t.json"
+    code, _ = run_cli("run", "--app", "lu", "--ranks", "2",
+                      "--duration", "6", "--trace-out", str(trace))
+    assert code == 0
+    code, out = run_cli("obs", "critpath", str(trace))
+    assert code == 0
+    assert "critical path over" in out
+    assert "verdicts:" in out
+    code, out = run_cli("obs", "critpath", str(trace), "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["schema"] == "repro.obs.critpath/1"
+    assert data["slices"]
+
+
+def test_obs_critpath_edge_inputs(tmp_path, capsys):
+    code, _ = run_cli("obs", "critpath", str(tmp_path / "missing.json"))
+    assert code == 2
+    assert "bad trace" in capsys.readouterr().err
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"traceEvents": []}')
+    code, out = run_cli("obs", "critpath", str(empty))
+    assert code == 0
+    assert "no timeslice instants" in out
+
+
+def test_obs_diff_identical_runs_exit_zero(tmp_path):
+    paths = []
+    for tag in ("a", "b"):
+        m = tmp_path / f"{tag}.json"
+        code, _ = run_cli("run", "--app", "lu", "--ranks", "2",
+                          "--duration", "6", "--metrics-out", str(m))
+        assert code == 0
+        paths.append(m)
+    report = tmp_path / "report.json"
+    code, out = run_cli("obs", "diff", str(paths[0]), str(paths[1]),
+                        "--report", str(report))
+    assert code == 0
+    assert "0 regression(s)" in out
+    assert json.loads(report.read_text())["regressions"] == []
+
+
+def test_obs_diff_detects_a_changed_counter(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"c": {"kind": "counter", "value": 5}}))
+    b.write_text(json.dumps({"c": {"kind": "counter", "value": 7}}))
+    code, out = run_cli("obs", "diff", str(a), str(b))
+    assert code == 1
+    assert "c: 5 -> 7" in out
+    # a generous threshold swallows the change
+    code, _ = run_cli("obs", "diff", str(a), str(b), "--threshold", "0.5")
+    assert code == 0
+
+
+def test_obs_diff_bad_inputs_exit_two(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    a.write_text(json.dumps({"c": {"kind": "counter", "value": 5}}))
+    code, _ = run_cli("obs", "diff", str(a), str(tmp_path / "missing.json"))
+    assert code == 2
+    assert "cannot diff" in capsys.readouterr().err
+    profile = tmp_path / "p.json"
+    profile.write_text(json.dumps(
+        {"schema": "repro.obs.profile/1", "events": 0, "sections": 0,
+         "categories": [], "subsystems": {}}))
+    code, _ = run_cli("obs", "diff", str(a), str(profile))
+    assert code == 2
+    assert "mixed artifact schemas" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as exc:
+        main(["obs", "diff", str(a), str(a), "--threshold", "-1"])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_profile_out_rejected_with_worker_modes(tmp_path, capsys):
+    code, _ = run_cli("run", "--app", "lu", "--ranks", "4",
+                      "--duration", "4", "--shards", "2",
+                      "--profile-out", str(tmp_path / "p.json"))
+    assert code == 2
+    assert "--profile-out" in capsys.readouterr().err
+    code, _ = run_cli("sweep", "--app", "lu", "--ranks", "2",
+                      "--duration", "4", "--timeslices", "1,2",
+                      "--jobs", "2", "--no-cache",
+                      "--profile-out", str(tmp_path / "p.json"))
+    assert code == 2
+    assert "this process's engine events" in capsys.readouterr().err

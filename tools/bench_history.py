@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Trajectory-aware perf gating over the benchmark history.
+
+``tools/perf_gate.py`` compares one fresh record against one committed
+reference; this tool keeps the whole trajectory.  A history file
+(``benchmarks/perf/BENCH_history.jsonl``, one JSON record per line)
+accumulates every recorded bench run, and
+
+- ``record``  appends a fresh ``bench_sweep.py`` record (flattened to
+  the gated metrics) under a label;
+- ``check``   gates a fresh record against the *median* of the last N
+  same-mode history entries -- robust to a single noisy CI run, unlike
+  a pinned reference that silently goes stale;
+- ``table``   renders the perf-trajectory markdown table, and with
+  ``--write`` regenerates it in benchmarks/README.md between the
+  ``<!-- bench-history:begin/end -->`` markers.
+
+Exit codes: 0 pass, 1 regression, 2 bad input.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py --quick --out b.json
+    python tools/bench_history.py record b.json --label "PR 8"
+    python tools/bench_history.py check b.json [--tolerance 0.30] [--last 5]
+    python tools/bench_history.py table --write benchmarks/README.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_gate import GATED_METRICS  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+HISTORY_DEFAULT = ROOT / "benchmarks" / "perf" / "BENCH_history.jsonl"
+BEGIN_MARK = "<!-- bench-history:begin -->"
+END_MARK = "<!-- bench-history:end -->"
+
+#: history metric -> table column (order defines the table)
+TABLE_COLUMNS = [
+    ("engine.run_events_per_s", "engine run (ev/s)"),
+    ("sweep.serial_cold_s", "fig2 sweep serial"),
+    ("fig5.row_s", "fig5 64-rank row"),
+    ("scale.row_s", "scale row"),
+]
+
+
+def load_history(path: Path) -> list[dict]:
+    """Every history entry, oldest first (missing file: empty)."""
+    if not path.is_file():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: bad history line: {exc}")
+    return entries
+
+
+def flatten(record: dict) -> dict:
+    """The gated metrics of one bench record as a flat dotted map."""
+    out = {}
+    for (section, key), _ in GATED_METRICS.items():
+        value = record.get(section, {}).get(key)
+        if value is not None:
+            out[f"{section}.{key}"] = value
+    return out
+
+
+def cmd_record(args) -> int:
+    record = json.loads(Path(args.current).read_text())
+    entry = {
+        "label": args.label,
+        "quick": record.get("quick"),
+        "metrics": flatten(record),
+    }
+    if args.commit:
+        entry["commit"] = args.commit
+    if args.notes:
+        entry["notes"] = args.notes
+    path = Path(args.history)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"recorded {args.label!r} ({len(entry['metrics'])} metric(s)) "
+          f"to {path}")
+    return 0
+
+
+def check(current: dict, history: list[dict], *, tolerance: float,
+          last: int) -> list[str]:
+    """Gate violations of ``current`` vs the trailing same-mode median."""
+    mode = current.get("quick")
+    comparable = [e for e in history if e.get("quick") == mode]
+    if not comparable:
+        print(f"no same-mode (quick={mode}) history entries; nothing to "
+              f"gate against")
+        return []
+    window = comparable[-last:]
+    cur = flatten(current)
+    failures = []
+    for (section, key), higher_is_better in GATED_METRICS.items():
+        name = f"{section}.{key}"
+        refs = [e["metrics"][name] for e in window
+                if e.get("metrics", {}).get(name) is not None]
+        if not refs:
+            continue
+        value = cur.get(name)
+        if value is None:
+            failures.append(f"{name}: missing from current record")
+            continue
+        ref = statistics.median(refs)
+        if higher_is_better:
+            limit = ref * (1.0 - tolerance)
+            ok = value >= limit
+            direction = "below"
+        else:
+            limit = ref * (1.0 + tolerance)
+            ok = value <= limit
+            direction = "above"
+        change = (value / ref - 1.0) * 100 if ref else 0.0
+        status = "ok" if ok else "FAIL"
+        print(f"  {status:4s} {name}: {value} vs median of "
+              f"{len(refs)} run(s) {ref:.6g} ({change:+.1f}%)")
+        if not ok:
+            failures.append(
+                f"{name} regressed: {value} is {direction} the "
+                f"{tolerance:.0%} tolerance limit {limit:.6g} "
+                f"(median {ref:.6g} over the last {len(refs)} run(s))")
+    return failures
+
+
+def cmd_check(args) -> int:
+    current = json.loads(Path(args.current).read_text())
+    history = load_history(Path(args.history))
+    print(f"bench history gate: {args.current} vs last {args.last} "
+          f"entries of {args.history} (tolerance {args.tolerance:.0%})")
+    failures = check(current, history, tolerance=args.tolerance,
+                     last=args.last)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench history gate passed")
+    return 0
+
+
+def _fmt(name: str, value) -> str:
+    if value is None:
+        return "—"
+    if name.endswith("_per_s"):
+        return f"{value / 1000.0:.0f}k"
+    if name.endswith("_s"):
+        return f"{value:.2f} s"
+    return f"{value:g}"
+
+
+def render_table(history: list[dict]) -> str:
+    """The perf-trajectory markdown table over every history entry."""
+    header = ["commit / label"] + [title for _, title in TABLE_COLUMNS]
+    header += ["mode", "notes"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "---|" * len(header)]
+    for entry in history:
+        label = entry.get("label", "?")
+        if entry.get("commit"):
+            label = f"`{entry['commit']}` {label}"
+        metrics = entry.get("metrics", {})
+        row = [label]
+        row += [_fmt(name, metrics.get(name)) for name, _ in TABLE_COLUMNS]
+        row.append("quick" if entry.get("quick") else "full")
+        row.append(entry.get("notes", ""))
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def cmd_table(args) -> int:
+    history = load_history(Path(args.history))
+    if not history:
+        print(f"no history at {args.history}", file=sys.stderr)
+        return 2
+    table = render_table(history)
+    if args.write:
+        target = Path(args.write)
+        text = target.read_text()
+        begin = text.find(BEGIN_MARK)
+        end = text.find(END_MARK)
+        if begin < 0 or end < 0 or end < begin:
+            print(f"{target} has no {BEGIN_MARK} / {END_MARK} markers",
+                  file=sys.stderr)
+            return 2
+        new = (text[:begin + len(BEGIN_MARK)] + "\n" + table + "\n"
+               + text[end:])
+        target.write_text(new)
+        print(f"table written into {target} ({len(history)} row(s))")
+    else:
+        print(table)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="append a bench record")
+    rec.add_argument("current", help="fresh bench_sweep.py JSON record")
+    rec.add_argument("--label", required=True, help="row label (e.g. 'PR 8')")
+    rec.add_argument("--commit", default=None, help="short commit hash")
+    rec.add_argument("--notes", default=None, help="table notes column")
+    rec.add_argument("--history", default=str(HISTORY_DEFAULT))
+
+    chk = sub.add_parser("check", help="gate a record vs the history")
+    chk.add_argument("current", help="fresh bench_sweep.py JSON record")
+    chk.add_argument("--tolerance", type=float, default=0.30,
+                     help="allowed fractional regression (default 0.30)")
+    chk.add_argument("--last", type=int, default=5,
+                     help="trailing same-mode entries to take the "
+                          "median over (default 5)")
+    chk.add_argument("--history", default=str(HISTORY_DEFAULT))
+
+    tab = sub.add_parser("table", help="render the trajectory table")
+    tab.add_argument("--write", metavar="README", default=None,
+                     help="rewrite the table between the bench-history "
+                          "markers of this file")
+    tab.add_argument("--history", default=str(HISTORY_DEFAULT))
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "record":
+            return cmd_record(args)
+        if args.command == "check":
+            return cmd_check(args)
+        return cmd_table(args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

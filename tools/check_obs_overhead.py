@@ -9,9 +9,13 @@ the same experiment is run with ``obs=None`` (the baseline) and with a
 component sees when no flag was passed), best-of-N each, and fails when
 the attached-but-disabled run is more than ``--max-pct`` slower.
 
-A fully *enabled* tracer+metrics run is also timed and reported, purely
-informationally -- enabled tracing is allowed to cost; disabled tracing
-is not.
+A fully *enabled* tracer+metrics run and a profiler-attached run are
+also timed and reported, purely informationally -- enabled tracing and
+profiling are allowed to cost; disabled observability is not.  The
+disabled variant is the one every component sees when no ``--trace-out``
+/ ``--metrics-out`` / ``--profile-out`` flag was passed, so the gate
+covers the profiler's disabled path too (``obs.profiler is None`` on
+every engine construction and event dispatch).
 
 Exit codes: 0 within budget, 1 over budget.
 
@@ -32,7 +36,12 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.cluster.experiment import paper_config, run_experiment  # noqa: E402
-from repro.obs import MetricsRegistry, Observability, Tracer       # noqa: E402
+from repro.obs import (                                            # noqa: E402
+    EngineProfiler,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 
 
 def time_once(duration: float, obs) -> float:
@@ -76,25 +85,30 @@ def main(argv=None) -> int:
 
     time_once(args.duration, None)  # warmup: imports, allocator, caches
     for attempt in range(1, args.attempts + 1):
-        base_t, disabled_t, enabled_t = measure_interleaved(
+        base_t, disabled_t, enabled_t, profiled_t = measure_interleaved(
             args.repeats, args.duration,
             [lambda: None,
              lambda: Observability(),
              lambda: Observability(tracer=Tracer(wall_clock=None),
-                                   metrics=MetricsRegistry())])
+                                   metrics=MetricsRegistry()),
+             lambda: Observability(profiler=EngineProfiler())])
 
         # the gate quantity: ratio of minima.  Scheduler noise only ever
         # *adds* time, so the minimum over enough interleaved rounds
         # converges on each variant's true cost from above.
-        base, disabled, enabled = min(base_t), min(disabled_t), min(enabled_t)
+        base, disabled = min(base_t), min(disabled_t)
+        enabled, profiled = min(enabled_t), min(profiled_t)
         pct = (disabled / base - 1.0) * 100.0
         enabled_pct = (enabled / base - 1.0) * 100.0
+        profiled_pct = (profiled / base - 1.0) * 100.0
         print(f"attempt {attempt}/{args.attempts}:")
         print(f"  baseline (obs=None):        {base * 1e3:8.2f} ms")
         print(f"  disabled obs attached:      {disabled * 1e3:8.2f} ms  "
               f"({pct:+.2f}%)")
         print(f"  enabled tracer+metrics:     {enabled * 1e3:8.2f} ms  "
               f"({enabled_pct:+.2f}%, informational)")
+        print(f"  engine profiler attached:   {profiled * 1e3:8.2f} ms  "
+              f"({profiled_pct:+.2f}%, informational)")
         if pct <= args.max_pct:
             print(f"OK: disabled observability within the "
                   f"{args.max_pct}% budget")
