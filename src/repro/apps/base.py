@@ -71,6 +71,12 @@ class AppRunContext:
     blocks: dict[str, list] = field(default_factory=dict)
     #: per-region sweep cursors for cursor-continuing compute phases
     sweep_cursors: dict[str, int] = field(default_factory=dict)
+    #: transient-Region cache: name -> (block geometry, Region).  The
+    #: address-space arena hands the steady-state AllocPhase the same
+    #: segments at the same bases every iteration, so the Region built
+    #: over them (a pure host-side view) can be reused instead of
+    #: reconstructed; a geometry mismatch falls back to a rebuild.
+    region_cache: dict[str, tuple] = field(default_factory=dict)
     iteration_starts: list[float] = field(default_factory=list)
     init_end_time: float = 0.0
     iterations: int = 0

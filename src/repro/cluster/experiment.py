@@ -165,7 +165,8 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig,
                    obs=None, *, shards: int = 1,
-                   coalesce_timers: bool = True) -> ExperimentResult:
+                   coalesce_timers: bool = True,
+                   coalesce_events: bool = True) -> ExperimentResult:
     """Run one instrumented experiment on the simulated cluster.
 
     ``obs`` (a :class:`repro.obs.Observability`) threads a tracer,
@@ -179,17 +180,20 @@ def run_experiment(config: ExperimentConfig,
     the protocol and its configuration gate).  ``coalesce_timers=False``
     selects the seed per-timer engine path instead of the coalesced
     :class:`~repro.sim.timers.TimerHub` (the differential suite compares
-    the two)."""
+    the two).  ``coalesce_events=False`` likewise selects the seed
+    one-event-per-wake/per-delivery engine path instead of the coalesced
+    batches (:meth:`~repro.sim.Engine.schedule_coalesced`)."""
     if shards > 1:
         from repro.cluster.shards import run_sharded  # deferred: shards imports us
         return run_sharded(config, obs=obs, shards=shards,
                            coalesce_timers=coalesce_timers)
-    return _execute(config, obs, coalesce_timers)
+    return _execute(config, obs, coalesce_timers,
+                    coalesce_events=coalesce_events)
 
 
 def _execute(config: ExperimentConfig, obs, coalesce_timers: bool,
              phantom_ranks: frozenset = frozenset(),
-             before_run=None) -> ExperimentResult:
+             before_run=None, coalesce_events: bool = True) -> ExperimentResult:
     """Build the full simulation and run it to completion.
 
     The seam shared by the in-process path and the shard workers:
@@ -197,7 +201,9 @@ def _execute(config: ExperimentConfig, obs, coalesce_timers: bool,
     placeholders (owned by another shard), and ``before_run(engine,
     app, job, library)`` lets the caller attach listeners after install
     but before launch."""
-    engine = Engine(obs=obs, coalesce_timers=coalesce_timers)
+    engine = Engine(obs=obs, coalesce_timers=coalesce_timers,
+                    coalesce_wakes=coalesce_events,
+                    coalesce_deliveries=coalesce_events)
     layout = Layout(page_size=config.page_size)
     run_duration = (config.run_duration
                     if config.run_duration is not None

@@ -90,6 +90,17 @@ class AddressSpace:
         #: mmap'ed segments, keyed by base address
         self._mmaps: dict[int, Segment] = {}
         self._mmap_cursor = self.layout.mmap_base
+        #: region arena: fully-unmapped segments parked by page count for
+        #: reuse by the next same-size mmap (the per-iteration temp-region
+        #: churn maps/unmaps an identical pattern every iteration).  A
+        #: reused segment is indistinguishable from a fresh one -- new
+        #: sid, new name, recycled page table -- it just skips the host
+        #: allocations.  Keyed npages -> stack of parked segments.
+        self._arena: dict[int, list[Segment]] = {}
+        #: parked segments across all sizes (bounds host memory pinned
+        #: by the arena)
+        self._arena_count = 0
+        self._arena_cap = 32
 
         self.fault_listeners: list[FaultListener] = []
         self.map_listeners: list[MapListener] = []
@@ -317,11 +328,28 @@ class AddressSpace:
         if size <= 0:
             raise MappingError(f"mmap of non-positive size {size}")
         size = page_align_up(size, self.page_size)
-        base = self._find_mmap_gap(size)
-        seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
-                      name=name or f"mmap@{base:#x}",
-                      store_contents=self.store_contents,
-                      phantom=self.phantom)
+        parked = self._arena.get(size // self.page_size)
+        if parked:
+            # FIFO: segments come back in the order they were freed, so
+            # a forward free / forward alloc iteration reproduces the
+            # same address layout every time (LIFO would reverse
+            # same-size groups and oscillate with period 2)
+            seg = parked.pop(0)
+            self._arena_count -= 1
+            # prefer the segment's previous base: the steady-state
+            # alloc/free pattern then sees *stable addresses* iteration
+            # after iteration (the cursor scan below would drift upward)
+            if self._mmap_overlap(seg.base, size) is None:
+                base = seg.base
+            else:
+                base = self._find_mmap_gap(size)
+            seg.rebind(base, name or f"mmap@{base:#x}")
+        else:
+            base = self._find_mmap_gap(size)
+            seg = Segment(SegmentKind.MMAP, base, size, self.page_size,
+                          name=name or f"mmap@{base:#x}",
+                          store_contents=self.store_contents,
+                          phantom=self.phantom)
         self._mmaps[base] = seg
         self._invalidate_caches()
         for listener in self.map_listeners:
@@ -397,6 +425,12 @@ class AddressSpace:
         for listener in self.unmap_listeners:
             listener(seg)
 
+        if addr == seg.base and addr + size == seg.end:
+            # whole-segment unmap: park the host object for arena reuse
+            # by the next same-size mmap (no remainder to re-map)
+            self._park(seg)
+            return
+
         # keep the head and/or tail remainders mapped (with their page
         # state intact -- partial munmap must not forget surviving content)
         orig_base, orig_end = seg.base, seg.end
@@ -427,6 +461,18 @@ class AddressSpace:
             self._invalidate_caches()
             for listener in self.map_listeners:
                 listener(tail)
+
+    def _park(self, seg: Segment) -> None:
+        """Stash a fully-unmapped segment for reuse by a same-size mmap.
+
+        Bytes-backend segments are not parked (their payload would need a
+        zero-fill to match a fresh mapping, forfeiting the saving), and
+        the arena is capped so pathological unmap streams cannot pin
+        unbounded host memory."""
+        if seg.contents is not None or self._arena_count >= self._arena_cap:
+            return
+        self._arena.setdefault(seg.npages, []).append(seg)
+        self._arena_count += 1
 
     def unmap_segment(self, seg: Segment) -> None:
         """Unmap a whole mmap segment by identity."""

@@ -243,6 +243,23 @@ class PageTable:
             # new pages arrive unprotected
             self._all_protected = False
 
+    def recycle(self) -> None:
+        """Reset to the state a freshly constructed table of the same
+        ``npages`` would have: every page unprotected, clean, version 0
+        (the region arena reuses a parked segment instead of rebuilding
+        it).  Only the range that ever held state (up to the high-water
+        mark) is wiped, and the over-allocated buffers are kept."""
+        hwm = self._hwm
+        if hwm:
+            self._protected_buf[:hwm] = False
+            self._dirty_buf[:hwm] = False
+            self._versions_buf[:hwm] = 0
+        # a fresh PageTable(npages) starts with _hwm == npages
+        self._hwm = self.npages
+        self._ndirty = 0
+        self._dirty_overlap = False
+        self._all_protected = False
+
     def split(self, at: int) -> "PageTable":
         """Split off pages ``[at, npages)`` into a new table (for partial
         munmap); this table keeps ``[0, at)``."""
@@ -343,6 +360,9 @@ class PhantomPageTable:
 
     def reset_dirty(self) -> None:
         """No-op."""
+
+    def recycle(self) -> None:
+        """No-op (phantoms carry no state to reset)."""
 
     def resize(self, npages: int) -> None:
         """Track the new size (geometry must stay exact for bounds

@@ -116,6 +116,26 @@ class Segment:
         hi = (addr + size - 1 - self.base) // self.page_size + 1
         return lo, hi
 
+    # -- arena reuse ----------------------------------------------------------
+
+    def rebind(self, base: int, name: str) -> None:
+        """Reincarnate a parked segment as a brand-new mapping at ``base``
+        (the region arena's reuse path).
+
+        A fresh ``sid`` is minted from the same counter a new
+        :class:`Segment` would draw from, so everything keyed by sid --
+        incremental-checkpoint deltas, replayed page versions, integrity
+        digests -- sees exactly what a from-scratch construction would
+        have produced; only the host-side allocations are saved.  The
+        page table is recycled to its fresh all-clean state.
+        """
+        if base % self.page_size:
+            raise MappingError(f"segment base {base:#x} not page-aligned")
+        self.sid = next(_segment_ids)
+        self.base = base
+        self.name = name
+        self.pages.recycle()
+
     # -- growth ---------------------------------------------------------------
 
     def resize_pages(self, npages: int) -> None:

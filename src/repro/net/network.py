@@ -79,6 +79,10 @@ class Network:
         self._rx_free: list[float] = [0.0] * nnodes
         #: delivery callbacks per destination node
         self._sinks: list[Optional[Callable[[Message], None]]] = [None] * nnodes
+        #: the one bound-method object every coalesced delivery shares --
+        #: Engine.schedule_coalesced compares callables by identity, and
+        #: ``self._deliver`` would mint a fresh bound method per access
+        self._deliver_one = self._deliver
         # statistics
         self.messages_delivered = 0
         self.bytes_delivered = 0
@@ -205,7 +209,13 @@ class Network:
                 tracer.complete("net.send", "net", now, arrival - now,
                                 track=tx_tracks[msg.src], dst=msg.dst,
                                 size=msg.size, tag=msg.tag)
-        self.engine.schedule_at(arrival, self._deliver, msg)
+        if self.engine.coalesce_deliveries:
+            # same-arrival deliveries -- across senders, not just within
+            # one batch -- share a single engine event, drained in send
+            # order (the order separate events would have fired in)
+            self.engine.schedule_coalesced(arrival, self._deliver_one, msg)
+        else:
+            self.engine.schedule_at(arrival, self._deliver, msg)
         return arrival
 
     def send_many(self, msgs: list[Message]) -> list[float]:
@@ -224,10 +234,18 @@ class Network:
         """
         if not msgs:
             return []
+        if len(msgs) == 1:
+            # single-message batch: the plain send path, no group
+            # structures allocated
+            return [self.send(msgs[0])]
         now = self.engine.now
         obs = self.engine.obs
         if obs.enabled:
             _, ctr_msgs, ctr_bytes, tracer, tx_tracks = self._send_obs(obs)
+        coalesce = self.engine.coalesce_deliveries
+        if coalesce:
+            schedule_coalesced = self.engine.schedule_coalesced
+            deliver_one = self._deliver_one
         arrivals: list[float] = []
         groups: dict[float, Any] = {}
         for msg in msgs:
@@ -242,6 +260,12 @@ class Network:
                                     track=tx_tracks[msg.src], dst=msg.dst,
                                     size=msg.size, tag=msg.tag)
             arrivals.append(arrival)
+            if coalesce:
+                # the engine's open-batch bookkeeping does the distinct-
+                # arrival grouping -- and extends it across send_many
+                # calls from other ranks at the same instant
+                schedule_coalesced(arrival, deliver_one, msg)
+                continue
             grp = groups.get(arrival)
             if grp is None:
                 groups[arrival] = msg
@@ -249,6 +273,8 @@ class Network:
                 grp.append(msg)
             else:
                 groups[arrival] = [grp, msg]
+        if coalesce:
+            return arrivals
         schedule_at = self.engine.schedule_at
         # group events are created here, in first-arrival-seen order, so
         # their insertion sequence is a monotone renumbering of the

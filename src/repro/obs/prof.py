@@ -49,9 +49,15 @@ PROFILE_SCHEMA = "repro.obs.profile/1"
 #: function qualname -> (subsystem, event kind, rank-extraction mode).
 #: Modes: "self_name" parses ``...r<N>`` off the bound object's name,
 #: "arg0_rank" reads an integer first argument, "msg_dst" /
-#: "batch_dst" read a Message destination, None means unranked.
+#: "batch_dst" read a Message destination, "item_proc" reads a
+#: (process, value) wake item, "run_batch" re-classifies a coalesced
+#: Engine._run_batch event by its inner callable (so batched deliveries
+#: and resumes land in the same categories their per-item events used),
+#: None means unranked.
 _QUALNAME_KINDS = {
     "SimProcess._resume": ("sim", "process.resume", "self_name"),
+    "_dispatch_resume": ("sim", "process.resume", "item_proc"),
+    "Engine._run_batch": ("sim", "batch.dispatch", "run_batch"),
     "TimerHub._fire_group": ("sim", "timer.epoch", None),
     "IntervalTimer._fire": ("sim", "timer.expiry", None),
     "Network._deliver": ("net", "message.delivery", "msg_dst"),
@@ -195,6 +201,26 @@ class EngineProfiler:
                 args = ev.args
                 if args and args[0]:
                     rank = getattr(args[0][0], "dst", None)
+            elif mode == "item_proc":
+                args = ev.args
+                if args and args[0]:
+                    rank = _rank_from_name(args[0][0].name)
+            elif mode == "run_batch":
+                # a coalesced batch: attribute to the *inner* callable's
+                # category (message.delivery, process.resume, ...) so the
+                # batched and unbatched paths profile under one name
+                inner_fn, items = ev.args
+                ifunc = getattr(inner_fn, "__func__", inner_fn)
+                ientry = self._fn_cache.get(id(ifunc))
+                if ientry is None:
+                    ientry = self._classify(ifunc)
+                    self._fn_cache[id(ifunc)] = ientry
+                _, subsystem, kind, imode = ientry
+                if items:
+                    if imode == "msg_dst":
+                        rank = getattr(items[0], "dst", None)
+                    elif imode == "item_proc":
+                        rank = _rank_from_name(items[0][0].name)
             elif mode == "future":
                 subsystem, kind, rank = _classify_future(fn.__self__)
         return self._bucket(subsystem, kind, self._group(rank))

@@ -48,6 +48,14 @@ _COMPACT_MIN: int = 64
 #: same event stream by the differential suite.
 COALESCE_TIMERS_DEFAULT: bool = True
 
+#: Default for :class:`Engine`'s ``coalesce_wakes`` / ``coalesce_deliveries``:
+#: same-instant future wake-ups (resp. same-arrival message deliveries) share
+#: one queued event drained in submission order by
+#: :meth:`Engine.schedule_coalesced`.  The per-item seed path remains
+#: available with ``Engine(coalesce_wakes=False, coalesce_deliveries=False)``
+#: and is held to the same simulation by the differential suite.
+COALESCE_EVENTS_DEFAULT: bool = True
+
 
 class Event:
     """A scheduled callback.
@@ -108,7 +116,9 @@ class Engine:
     """
 
     def __init__(self, start_time: float = 0.0, obs=None,
-                 coalesce_timers: Optional[bool] = None):
+                 coalesce_timers: Optional[bool] = None,
+                 coalesce_wakes: Optional[bool] = None,
+                 coalesce_deliveries: Optional[bool] = None):
         self._now = float(start_time)
         #: when True, :class:`~repro.sim.timers.IntervalTimer` expiries
         #: are batched through a :class:`~repro.sim.timers.TimerHub`
@@ -118,6 +128,20 @@ class Engine:
                                 else bool(coalesce_timers))
         #: lazily created by the first coalesced IntervalTimer
         self.timer_hub = None
+        #: when True, same-instant future wake-ups (``coalesce_wakes``) and
+        #: same-arrival message deliveries (``coalesce_deliveries``) are
+        #: drained through one queued event each (schedule_coalesced)
+        self.coalesce_wakes = (COALESCE_EVENTS_DEFAULT
+                               if coalesce_wakes is None
+                               else bool(coalesce_wakes))
+        self.coalesce_deliveries = (COALESCE_EVENTS_DEFAULT
+                                    if coalesce_deliveries is None
+                                    else bool(coalesce_deliveries))
+        #: open coalesced batches: time -> (fn, priority, items, Event).
+        #: Conservatively closed by ANY schedule_at at the same time, so a
+        #: later join can never leapfrog an interleaved event (see
+        #: schedule_coalesced's ordering note).
+        self._open_batches: dict[float, tuple] = {}
         #: heap of (time, priority, seq, Event) -- C-level tuple ordering
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
@@ -161,10 +185,57 @@ class Engine:
         if time < self._now:
             raise ClockError(
                 f"cannot schedule event at t={time:.9f}, now is t={self._now:.9f}")
+        if self._open_batches:
+            # conservative closure: any event scheduled at this instant
+            # seals an open coalesced batch, so later joins sort after it
+            self._open_batches.pop(time, None)
         seq = next(self._seq)
         ev = Event(time, priority, seq, fn, args, engine=self)
         heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
+
+    def schedule_coalesced(self, time: float, fn: Callable[[Any], Any],
+                           item: Any, priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule ``fn(item)`` at ``time``, sharing one queued event with
+        every other coalesced call for the same ``(time, fn, priority)``.
+
+        The shared event drains its items in submission order, which is
+        exactly the order separate per-item events would have fired in:
+        items join a batch only while no other event has been scheduled at
+        that instant in between (``schedule_at`` seals open batches), so the
+        batch occupies its first item's place in the queue and the whole
+        stream of callbacks is unchanged -- there are just fewer heap
+        entries.  ``fn`` is compared by identity; callers must pass a stable
+        callable (a module-level function or a bound method cached once),
+        not a fresh bound method per call.
+
+        The returned Event is the *shared* batch event.  Cancelling it
+        cancels every joined item, so callers whose items can be withdrawn
+        individually must guard in ``fn`` instead (the way
+        :meth:`SimProcess._resume` ignores finished processes).
+        """
+        batch = self._open_batches.get(time)
+        if (batch is not None and batch[0] is fn
+                and batch[1] == priority and not batch[3].cancelled):
+            batch[2].append(item)
+            return batch[3]
+        items = [item]
+        ev = self.schedule_at(time, self._run_batch, fn, items,
+                              priority=priority)
+        self._open_batches[time] = (fn, priority, items, ev)
+        return ev
+
+    def _run_batch(self, fn: Callable[[Any], Any], items: list) -> None:
+        """Drain one coalesced batch.  The batch unregisters itself before
+        the first callback runs, so same-instant work scheduled *by* the
+        batch opens a fresh event behind the running one (mirroring
+        TimerHub._fire_group) instead of appending to a list already being
+        drained."""
+        batch = self._open_batches.get(self._now)
+        if batch is not None and batch[2] is items:
+            del self._open_batches[self._now]
+        for item in items:
+            fn(item)
 
     # -- cancellation bookkeeping ---------------------------------------------
 

@@ -23,6 +23,19 @@ from repro.errors import ProcessStateError
 from repro.sim.engine import Engine, Event, PRIORITY_NORMAL
 
 
+def _dispatch_resume(item: "tuple[SimProcess, Any]") -> None:
+    """Resume one process from a coalesced wake batch.
+
+    Module-level so every :meth:`SimProcess._on_future` shares one callable
+    identity and same-instant wakes join a single engine event
+    (:meth:`Engine.schedule_coalesced`).  A process killed or finished
+    after joining the batch is skipped by :meth:`SimProcess._resume`'s
+    state guard.
+    """
+    proc, value = item
+    proc._resume(value)
+
+
 class Timeout:
     """Yield this from a process body to sleep ``delay`` virtual seconds."""
 
@@ -162,8 +175,21 @@ class SimProcess:
         if self.state is ProcessState.BLOCKED:
             # Wake at the current instant but via the queue, preserving
             # deterministic ordering with other same-instant events.
-            self._wakeup = self.engine.schedule(
-                0.0, self._resume, value, priority=PRIORITY_NORMAL)
+            engine = self.engine
+            if engine.coalesce_wakes:
+                # Same-instant wakes (a batch delivery releasing many
+                # ranks) share one dispatch event, drained in resolution
+                # order -- the order their per-process events would have
+                # fired in.  The shared event is deliberately NOT stored
+                # in _wakeup: kill() must not cancel other processes'
+                # wakes, and _resume's state guard already makes a stale
+                # wake for this process a no-op.
+                engine.schedule_coalesced(
+                    engine.now, _dispatch_resume, (self, value),
+                    priority=PRIORITY_NORMAL)
+            else:
+                self._wakeup = engine.schedule(
+                    0.0, self._resume, value, priority=PRIORITY_NORMAL)
 
     def _finish(self, state: ProcessState, result: Any) -> None:
         self.state = state

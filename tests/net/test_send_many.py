@@ -85,6 +85,26 @@ def test_send_many_empty_batch_is_noop():
     assert eng.pending_events() == 0
 
 
+def test_send_many_single_message_short_circuits_to_send():
+    """A one-element batch takes the plain ``send`` path -- no grouping
+    structures -- and is indistinguishable from calling ``send``."""
+    eng1, net1, d1 = collect_network()
+    m1 = Message(src=0, dst=2, size=2048, tag=7)
+    batched = net1.send_many([m1])
+
+    eng2, net2, d2 = collect_network()
+    m2 = Message(src=0, dst=2, size=2048, tag=7)
+    single = net2.send(m2)
+
+    assert batched == [single]
+    assert (m1.send_time, m1.arrival_time) == (m2.send_time, m2.arrival_time)
+    assert eng1.pending_events() == eng2.pending_events() == 1
+    eng1.run()
+    eng2.run()
+    assert d1 == [(2, m1.mid)]
+    assert d2 == [(2, m2.mid)]
+
+
 def test_comm_send_many_accounting_and_validation():
     eng = Engine()
     job = MPIJob(eng, 4)

@@ -218,7 +218,9 @@ def test_fig5_64rank_profile_attributes_95_percent():
     attributes >= 95% of the measured wall window."""
     profile = _profiled_run("sage-1000MB", 64, timeslice=1.0,
                             run_duration=40.0)
-    assert profile["events"] > 10_000
+    # thousands of engine events even with same-instant wakes/deliveries
+    # coalesced into shared batch events (which roughly halved the count)
+    assert profile["events"] > 5_000
     assert profile["coverage"] >= 0.95
     # the categories' self times are what the coverage is made of
     total_self = sum(c["self_s"] for c in profile["categories"])

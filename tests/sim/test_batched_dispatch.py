@@ -1,0 +1,190 @@
+"""Batched same-instant dispatch: ``Engine.schedule_coalesced``
+semantics, the wake/delivery batching differential against the
+per-event seed path, and hypothesis interleavings.
+
+The contract mirrors the TimerHub's: batching same-sim-time work into
+one engine event may never change the simulation -- same delivery
+order, same resume order, same virtual times -- only the host event
+count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.experiment import paper_config, run_experiment
+from repro.net import Message, Network
+from repro.obs import Observability, Tracer
+from repro.sim import Engine, Future, SimProcess, PRIORITY_LATE
+
+
+# -- schedule_coalesced unit semantics ----------------------------------------
+
+def test_same_instant_calls_share_one_event_in_join_order():
+    eng = Engine()
+    fired = []
+    # fn is compared by identity, so callers hold one stable callable
+    # (a fresh bound method like fired.append would never coalesce)
+    collect = fired.append
+    pending = eng.pending_events()
+    ev1 = eng.schedule_coalesced(1.0, collect, "a")
+    ev2 = eng.schedule_coalesced(1.0, collect, "b")
+    ev3 = eng.schedule_coalesced(1.0, collect, "c")
+    assert ev1 is ev2 is ev3
+    assert eng.pending_events() == pending + 1
+    eng.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_plain_event_at_same_instant_seals_the_batch():
+    """An interloping ``schedule_at`` closes the open batch so later
+    joins sort *after* it -- exactly where per-item events would."""
+    eng = Engine()
+    fired = []
+    collect = fired.append
+    eng.schedule_coalesced(1.0, collect, "a")
+    eng.schedule_at(1.0, collect, "plain")
+    eng.schedule_coalesced(1.0, collect, "b")
+    assert eng.pending_events() == 3   # batch, interloper, fresh batch
+    eng.run()
+    assert fired == ["a", "plain", "b"]
+
+
+def test_distinct_fn_time_or_priority_do_not_coalesce():
+    eng = Engine()
+    fired = []
+    other = []
+    collect, collect_other = fired.append, other.append
+    eva = eng.schedule_coalesced(1.0, collect, "a")
+    evb = eng.schedule_coalesced(2.0, collect, "b")             # time
+    evc = eng.schedule_coalesced(2.0, collect_other, "c")       # fn
+    evd = eng.schedule_coalesced(2.0, collect_other, "d",
+                                 priority=PRIORITY_LATE)        # priority
+    assert len({id(e) for e in (eva, evb, evc, evd)}) == 4
+    eng.run()
+    assert fired == ["a", "b"] and other == ["c", "d"]
+
+
+def test_cancelled_batch_is_not_joined():
+    """Cancelling the shared event drops every joined item; a later
+    call opens a fresh batch instead of boarding the dead one."""
+    eng = Engine()
+    fired = []
+    collect = fired.append
+    ev = eng.schedule_coalesced(1.0, collect, "dropped")
+    eng.schedule_coalesced(1.0, collect, "also-dropped")
+    ev.cancel()
+    ev2 = eng.schedule_coalesced(1.0, collect, "live")
+    assert ev2 is not ev
+    eng.run()
+    assert fired == ["live"]
+
+
+def test_batch_fired_from_inside_a_batch_opens_a_fresh_event():
+    """A batch item scheduling more same-instant coalesced work must get
+    a new event (the firing batch's item list is already being drained)."""
+    eng = Engine()
+    fired = []
+
+    def chain(tag):
+        fired.append(tag)
+        if tag == "first":
+            eng.schedule_coalesced(eng.now, chain, "second")
+            eng.schedule_coalesced(eng.now, chain, "third")
+
+    eng.schedule_coalesced(1.0, chain, "first")
+    eng.run()
+    assert fired == ["first", "second", "third"]
+    assert eng.now == 1.0
+
+
+# -- hypothesis: interleavings are batching-invariant -------------------------
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=3.0,
+                                    allow_nan=False),
+                          st.integers(min_value=1, max_value=3),
+                          st.integers(min_value=0, max_value=65536)),
+                min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_delivery_order_identical_with_and_without_batching(sends):
+    """Random (send-time, dst, size) interleavings: the coalesced
+    delivery path produces the exact delivered sequence -- virtual
+    times included -- of the per-message seed path."""
+
+    def run(coalesce):
+        eng = Engine(coalesce_deliveries=coalesce)
+        net = Network(eng, nnodes=4)
+        log = []
+        for node in range(4):
+            net.attach(node, lambda m, n=node:
+                       log.append((eng.now, n, m.src, m.tag, m.size)))
+        for tag, (t, dst, size) in enumerate(sends):
+            # tag doubles as a unique identity so the comparison does
+            # not depend on the global Message mid counter
+            eng.schedule_at(t, net.send, Message(src=0, dst=dst,
+                                                 size=size, tag=tag))
+        eng.run()
+        return log
+
+    assert run(coalesce=True) == run(coalesce=False)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_wake_order_identical_with_and_without_batching(data):
+    """Random future/waiter topologies with colliding resolve times:
+    batched resumes happen at the same virtual times, in the same
+    order, with the same values as per-process wake events."""
+    nfuts = data.draw(st.integers(min_value=1, max_value=5), label="nfuts")
+    nprocs = data.draw(st.integers(min_value=1, max_value=4), label="nprocs")
+    # each process waits on an arbitrary sequence of future indices
+    waits = [data.draw(st.lists(st.integers(min_value=0, max_value=nfuts - 1),
+                                min_size=1, max_size=4), label=f"waits{p}")
+             for p in range(nprocs)]
+    # few distinct times so same-instant resolution collisions are common
+    times = [data.draw(st.sampled_from([0.0, 1.0, 1.0, 2.0]),
+                       label=f"t{f}") for f in range(nfuts)]
+
+    def run(coalesce):
+        eng = Engine(coalesce_wakes=coalesce)
+        futs = [Future(eng, label=f"f{i}") for i in range(nfuts)]
+        log = []
+
+        def body(name, seq):
+            for idx in seq:
+                value = yield futs[idx]
+                log.append((eng.now, name, idx, value))
+
+        for p, seq in enumerate(waits):
+            SimProcess(eng, body(f"w{p}", seq), name=f"w{p}")
+        for f, fut in enumerate(futs):
+            eng.schedule_at(times[f], fut.resolve, f * 10)
+        eng.run()
+        return log
+
+    assert run(coalesce=True) == run(coalesce=False)
+
+
+# -- differential: full workloads, batched vs seed dispatch -------------------
+
+@pytest.mark.parametrize("name", ["sage-50MB", "sweep3d"])
+def test_experiment_streams_identical_across_dispatch_paths(name):
+    cfg = paper_config(name, nranks=8, timeslice=1.0, run_duration=10.0)
+    new = run_experiment(cfg, coalesce_events=True)
+    seed = run_experiment(cfg, coalesce_events=False)
+    assert new.final_time == seed.final_time
+    assert new.iterations == seed.iterations
+    assert new.iteration_starts == seed.iteration_starts
+    for rank in range(8):
+        assert new.logs[rank].records == seed.logs[rank].records
+
+
+def test_traced_streams_identical_across_dispatch_paths():
+    streams = []
+    for coalesce in (True, False):
+        cfg = paper_config("sage-50MB", nranks=8, timeslice=1.0,
+                           run_duration=12.0, ckpt_transport="estimate")
+        obs = Observability(tracer=Tracer(wall_clock=None))
+        run_experiment(cfg, obs=obs, coalesce_events=coalesce)
+        streams.append(obs.tracer.events)
+    assert streams[0] == streams[1]

@@ -303,3 +303,28 @@ def test_profile_out_rejected_with_worker_modes(tmp_path, capsys):
                       "--profile-out", str(tmp_path / "p.json"))
     assert code == 2
     assert "this process's engine events" in capsys.readouterr().err
+
+
+def test_obs_top_classifies_batched_dispatch_into_known_subsystems(tmp_path):
+    """Batched wake/delivery dispatch rides inside shared ``_run_batch``
+    engine events; the profiler must re-classify them into the existing
+    subsystem table -- no batch or unknown buckets in the top view."""
+    profile = tmp_path / "p.json"
+    code, _ = run_cli("run", "--app", "sage-50MB", "--ranks", "8",
+                      "--duration", "40", "--profile-out", str(profile))
+    assert code == 0
+    code, out = run_cli("obs", "top", str(profile), "--by", "self")
+    assert code == 0
+    assert "unknown" not in out
+    assert "_run_batch" not in out
+    assert "batch.dispatch" not in out
+    # the batched paths report under the same names as the seed paths
+    code, out = run_cli("obs", "top", str(profile), "--by", "count")
+    assert code == 0
+    assert "process.resume" in out
+    assert "message.delivery" in out
+    data = json.loads(profile.read_text())
+    kinds = {c["kind"] for c in data["categories"]}
+    assert "process.resume" in kinds and "message.delivery" in kinds
+    assert not any(k in kinds for k in ("batch.dispatch", "_run_batch",
+                                        "unknown"))

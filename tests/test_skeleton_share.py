@@ -1,0 +1,83 @@
+"""Tests for the tools/skeleton_share.py CI gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "skeleton_share.py"
+
+
+@pytest.fixture(scope="module")
+def ss():
+    spec = importlib.util.spec_from_file_location("skeleton_share", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def profile(categories, wall=10.0):
+    return {"schema": "repro.obs.profile/1", "wall_total_s": wall,
+            "events": 1000, "categories": categories}
+
+
+def cat(subsystem, kind, self_s):
+    return {"subsystem": subsystem, "kind": kind, "self_s": self_s}
+
+
+def test_share_sums_only_skeleton_kinds(ss):
+    share, parts = ss.skeleton_share(profile([
+        cat("sim", "process.resume", 4.0),
+        cat("net", "message.delivery", 2.0),
+        cat("app", "region_alloc", 0.5),
+        cat("app", "region_free", 0.5),
+        cat("checkpoint", "transport.frame", 2.0),   # not skeleton
+        cat("host", "setup", 1.0),                   # not skeleton
+    ]))
+    assert share == pytest.approx(0.7)
+    assert parts["process.resume"] == 4.0
+    assert parts["region_alloc"] == 0.5
+
+
+def test_rank_group_rows_accumulate(ss):
+    """Profiles split categories per rank group; every row counts."""
+    share, parts = ss.skeleton_share(profile([
+        cat("sim", "process.resume", 3.0),
+        cat("sim", "process.resume", 2.0),
+    ]))
+    assert parts["process.resume"] == 5.0
+    assert share == pytest.approx(0.5)
+
+
+def test_subsystem_must_match_too(ss):
+    """A same-named kind in another subsystem is not skeleton work."""
+    share, _ = ss.skeleton_share(profile([
+        cat("storage", "process.resume", 5.0)]))
+    assert share == 0.0
+
+
+def test_main_exit_codes(ss, tmp_path, capsys):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps(profile([
+        cat("sim", "process.resume", 8.0)])))
+    assert ss.main([str(path), "--max-share", "0.9"]) == 0
+    assert "within" in capsys.readouterr().out
+    assert ss.main([str(path), "--max-share", "0.5"]) == 1
+    assert "EXCEEDS" in capsys.readouterr().out
+
+
+def test_main_rejects_non_profile_artifacts(ss, tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps({"schema": "repro.obs.trace/1"}))
+    with pytest.raises(SystemExit):
+        ss.main([str(path)])
+
+
+def test_committed_evidence_passes_the_recorded_threshold(ss):
+    """The CI threshold must hold for the committed profile artifacts."""
+    perf = TOOL.parent.parent / "benchmarks" / "perf"
+    for name in ("PROFILE_scale_before.json", "PROFILE_scale_after.json"):
+        data = json.loads((perf / name).read_text())
+        share, _ = ss.skeleton_share(data)
+        assert share <= 0.92, f"{name}: {share:.3f}"

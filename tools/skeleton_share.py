@@ -1,0 +1,81 @@
+"""CI gate on the *skeleton share* of a profiled run.
+
+The simulation skeleton -- generator resumes, message delivery, and
+per-iteration region allocation/free -- is replicated per rank and is
+what the batched-dispatch / flyweight-message / region-arena work
+collapses.  This tool reads an ``EngineProfiler`` export (the
+``--profile-out`` artifact of ``repro run``) and computes
+
+    share = (process.resume + message.delivery
+             + region_alloc + region_free self time) / wall_total
+
+failing when the share exceeds ``--max-share``.  The threshold is
+recorded from a measured profile (see
+``benchmarks/perf/PROFILE_scale_after.json``), with headroom for host
+noise: a regression that re-inflates the skeleton -- an un-batched
+dispatch path, per-message allocation creeping back -- moves the share
+by far more than scheduler jitter does.
+
+Usage::
+
+    PYTHONPATH=src python -m repro run --app sage-1000MB --ranks 256 \
+        --duration 150 --timeslice 20 --profile-out /tmp/prof.json
+    python tools/skeleton_share.py /tmp/prof.json --max-share 0.92
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (subsystem, kind) pairs that make up the replicated skeleton
+SKELETON_KINDS = (
+    ("sim", "process.resume"),
+    ("net", "message.delivery"),
+    ("app", "region_alloc"),
+    ("app", "region_free"),
+)
+
+
+def skeleton_share(profile: dict) -> tuple[float, dict[str, float]]:
+    """Return (share, per-kind self seconds) for a profile dict."""
+    if profile.get("schema") != "repro.obs.profile/1":
+        raise SystemExit(f"not a repro.obs.profile artifact: "
+                         f"{profile.get('schema')!r}")
+    wall = profile["wall_total_s"]
+    if wall <= 0:
+        raise SystemExit(f"non-positive wall_total_s: {wall}")
+    parts: dict[str, float] = {kind: 0.0 for _, kind in SKELETON_KINDS}
+    for cat in profile["categories"]:
+        key = (cat["subsystem"], cat["kind"])
+        if key in SKELETON_KINDS:
+            parts[key[1]] += cat["self_s"]
+    return sum(parts.values()) / wall, parts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate the skeleton share of a profiled run")
+    parser.add_argument("profile", help="EngineProfiler JSON export")
+    parser.add_argument("--max-share", type=float, default=0.92,
+                        help="fail when skeleton share exceeds this "
+                             "fraction of wall (default 0.92)")
+    args = parser.parse_args(argv)
+
+    profile = json.loads(Path(args.profile).read_text())
+    share, parts = skeleton_share(profile)
+    wall = profile["wall_total_s"]
+    print(f"skeleton share: {args.profile} "
+          f"({profile['events']} events, {wall:.3f}s wall)")
+    for kind, self_s in parts.items():
+        print(f"  {kind:<18} {self_s:8.3f}s  ({self_s / wall:6.1%})")
+    verdict = "within" if share <= args.max_share else "EXCEEDS"
+    print(f"  total skeleton     {share:.1%} of wall -- {verdict} "
+          f"--max-share {args.max_share:.0%}")
+    return 0 if share <= args.max_share else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
