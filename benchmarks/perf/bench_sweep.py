@@ -32,6 +32,11 @@ trajectory to compare against:
    as real scheduled traffic (``--ckpt-transport network``), reporting
    achieved drain bandwidth, checkpoint-induced message delay,
    backpressure stalls, and run-to-run determinism of the ledger.
+8. **dcp** -- sub-page differential checkpointing: the same Sage
+   configuration in page-granular incremental mode and in dcp mode at
+   256-byte blocks, reporting delta bytes both ways, the false-sharing
+   bytes recovered, wall times, and a run-to-run determinism check of
+   the dcp piece chain (kind, size, and digest of every stored piece).
 
 ``tools/perf_gate.py`` compares a fresh ``--quick`` run against the
 committed ``BENCH_quick_reference.json`` and fails CI on regression.
@@ -411,6 +416,59 @@ def bench_contention(quick: bool) -> dict:
     }
 
 
+def bench_dcp(quick: bool) -> dict:
+    """The sub-page differential checkpointing (dcp) study: the same
+    Sage configuration checkpointed page-granular and at 256-byte dcp
+    blocks.
+
+    Reports the delta bytes written in both modes, the false-sharing
+    bytes the block granularity recovered, wall times, and a
+    determinism check (two dcp runs must store identical piece chains:
+    same kind, size, and digest for every piece of every rank)."""
+    from repro.cluster.experiment import run_experiment
+    from repro.feasibility.falsesharing import delta_bytes
+
+    app = "sage-100MB" if quick else "sage-1000MB"
+    config = paper_config(app, nranks=4, timeslice=1.0,
+                          run_duration=8.0 if quick else 20.0,
+                          ckpt_transport="estimate",
+                          ckpt_interval_slices=1, ckpt_full_every=4)
+    block_size = 256
+
+    def timed(cfg):
+        t0 = time.perf_counter()
+        result = run_experiment(cfg)
+        return result, time.perf_counter() - t0
+
+    def chain(result):
+        store = result.ckpt.store
+        return [(o.rank, o.seq, o.kind, o.nbytes, o.digest)
+                for rank in range(store.nranks)
+                for o in store.pieces(rank)]
+
+    inc, inc_s = timed(config)
+    dcp_cfg = config.scaled(ckpt_mode="dcp", dcp_block_size=block_size)
+    dcp, dcp_s = timed(dcp_cfg)
+    dcp2, _ = timed(dcp_cfg)
+
+    page_bytes, captures = delta_bytes(inc)
+    dcp_bytes, dcp_captures = delta_bytes(dcp)
+    return {
+        "app": app,
+        "nranks": 4,
+        "block_size": block_size,
+        "incremental_wall_s": round(inc_s, 3),
+        "row_s": round(dcp_s, 3),
+        "delta_captures": dcp_captures,
+        "page_mode_delta_mb": round(page_bytes / 2**20, 2),
+        "dcp_delta_mb": round(dcp_bytes / 2**20, 2),
+        "false_sharing_bytes_recovered": page_bytes - dcp_bytes,
+        "dcp_over_page_ratio": round(dcp_bytes / page_bytes, 6)
+                               if page_bytes else 1.0,
+        "bit_identical_across_runs": chain(dcp) == chain(dcp2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
@@ -475,6 +533,14 @@ def main(argv=None) -> int:
           f"{contention['contended_messages']} msg(s), "
           f"stalls {contention['stalls']}, "
           f"deterministic={contention['bit_identical_across_runs']}")
+    print("dcp: incremental vs 256B blocks ...", flush=True)
+    dcp = bench_dcp(args.quick)
+    print(f"  {dcp['app']}: page-mode {dcp['page_mode_delta_mb']} MB, "
+          f"dcp {dcp['dcp_delta_mb']} MB "
+          f"({dcp['false_sharing_bytes_recovered']} B recovered, "
+          f"ratio {dcp['dcp_over_page_ratio']}), "
+          f"row {dcp['row_s']}s, "
+          f"deterministic={dcp['bit_identical_across_runs']}")
 
     record = {
         "quick": args.quick,
@@ -487,6 +553,7 @@ def main(argv=None) -> int:
         "fig5": fig5,
         "scale": scale,
         "ckpt_transport": contention,
+        "dcp": dcp,
         "seed_reference": SEED_REFERENCE,
         "pre_pr_reference": PRE_PR_REFERENCE,
     }
@@ -494,7 +561,8 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out}")
     deterministic = (sweep["bit_identical_across_modes"]
-                     and contention["bit_identical_across_runs"])
+                     and contention["bit_identical_across_runs"]
+                     and dcp["bit_identical_across_runs"])
     return 0 if deterministic else 1
 
 

@@ -21,9 +21,11 @@ measurements argue for, which lets the tests prove the central identity:
   (section 6.2: checkpoint between bursts, not inside them).
 """
 
-from repro.checkpoint.snapshot import Checkpoint, PagePayload, SegmentRecord
+from repro.checkpoint.snapshot import (Checkpoint, BlockPayload, PagePayload,
+                                       SegmentRecord)
 from repro.checkpoint.full import FullCheckpointer
 from repro.checkpoint.incremental import IncrementalCheckpointer
+from repro.checkpoint.dcp import DcpCheckpointer, content_block_hashes
 from repro.checkpoint.recovery import (
     RecoveryManager,
     apply_chain,
@@ -51,10 +53,12 @@ from repro.checkpoint.uncoordinated import (
 )
 
 __all__ = [
+    "BlockPayload",
     "Checkpoint",
     "CheckpointEngine",
     "CheckpointPlanner",
     "CheckpointTransport",
+    "DcpCheckpointer",
     "DisklessTransport",
     "DrainQueue",
     "EstimateTransport",
@@ -72,6 +76,7 @@ __all__ = [
     "SegmentRecord",
     "UncoordinatedSchedule",
     "apply_chain",
+    "content_block_hashes",
     "cow_cost",
     "lost_work",
     "make_resume_body",

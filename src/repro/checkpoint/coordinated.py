@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.checkpoint.cow import CowWriteout
+from repro.checkpoint.dcp import DcpCheckpointer
 from repro.checkpoint.full import FullCheckpointer
 from repro.checkpoint.incremental import IncrementalCheckpointer
 from repro.checkpoint.transport import (CheckpointTransport, TransportSpec,
@@ -71,12 +72,20 @@ class CheckpointEngine:
                  keep_payloads: bool = True,
                  cow: bool = False,
                  gc: bool = False,
-                 transport: Union[None, str, TransportSpec] = None):
+                 transport: Union[None, str, TransportSpec] = None,
+                 mode: str = "incremental",
+                 dcp_block_size: int = 256):
         if interval_slices < 1:
             raise CheckpointError(
                 f"interval_slices must be >= 1, got {interval_slices}")
         if full_every < 1:
             raise CheckpointError(f"full_every must be >= 1, got {full_every}")
+        if mode not in ("incremental", "dcp"):
+            raise CheckpointError(
+                f"unknown checkpoint mode {mode!r} "
+                f"(expected 'incremental' or 'dcp')")
+        self.mode = mode
+        self.dcp_block_size = dcp_block_size
         self.job = job
         self.library = library
         self.store = store or CheckpointStore(job.nranks)
@@ -147,7 +156,11 @@ class CheckpointEngine:
         old = self._incremental.get(rank)
         if old is not None:
             old.detach()
-        inc = IncrementalCheckpointer(ctx.process.memory)
+        if self.mode == "dcp":
+            inc = DcpCheckpointer(ctx.process.memory,
+                                  block_size=self.dcp_block_size)
+        else:
+            inc = IncrementalCheckpointer(ctx.process.memory)
         inc.mark_baseline()
         self._incremental[rank] = inc
         self._captures.setdefault(rank, 0)
@@ -192,6 +205,21 @@ class CheckpointEngine:
             m.counter("checkpoint.captures").inc()
             m.counter(f"checkpoint.captures_{ckpt.kind}").inc()
             m.counter("checkpoint.bytes_captured").inc(ckpt.nbytes)
+            if ckpt.kind == "dcp":
+                # inc is the DcpCheckpointer here; its last_* stats
+                # describe exactly this capture.  The hash cost is an
+                # observability figure only -- never charged to sim time,
+                # so dcp and incremental runs stay sim-identical.
+                from repro.storage.integrity import HASH_BANDWIDTH
+                m.counter("ckpt.dcp.blocks_hashed").inc(
+                    inc.last_blocks_hashed)
+                m.counter("ckpt.dcp.blocks_written").inc(
+                    inc.last_blocks_written)
+                m.counter("ckpt.dcp.bytes_saved").inc(
+                    max(0, inc.last_page_mode_nbytes - ckpt.nbytes))
+                m.counter("ckpt.dcp.hash_cost_s").inc(
+                    inc.last_blocks_hashed * ckpt.block_size
+                    / HASH_BANDWIDTH)
             tracer = cache[1]
             if tracer is not None:
                 tracer.instant("capture", "checkpoint", now,

@@ -74,6 +74,32 @@ class IncrementalCheckpointer:
 
     # -- capture ----------------------------------------------------------------------
 
+    def _capture_masks(self, seg) -> tuple[np.ndarray, np.ndarray]:
+        """Per-page save masks for one segment: ``(mask, new)``.
+
+        ``new`` marks pages saved *unconditionally* (whole new segments,
+        grown/regrown pages -- writes there may predate protection);
+        ``mask`` is the full capture set, ``new`` plus the accumulated
+        dirty pages.  Shared with the dcp checkpointer, which must force
+        every block of a ``new`` page into its delta.
+        """
+        new = np.zeros(seg.npages, dtype=bool)
+        known = self._last_npages.get(seg.sid)
+        if known is None:
+            new[:] = True                   # whole segment is new
+        else:
+            new_from = known
+            if (seg.kind.value == "heap" and self._heap_low is not None):
+                new_from = min(new_from, self._heap_low)
+            if new_from < seg.npages:
+                new[new_from:] = True       # grown/regrown pages
+        mask = new.copy()
+        acc = self._dirty.get(seg.sid)
+        if acc is not None:
+            n = min(len(acc), seg.npages)
+            mask[:n] |= acc[:n]
+        return mask, new
+
     def capture(self, seq: int, taken_at: float = 0.0) -> Checkpoint:
         """Produce the delta checkpoint and reset the accumulator.
 
@@ -85,20 +111,7 @@ class IncrementalCheckpointer:
         for seg in self.memory.data_segments():
             if seg.npages == 0:
                 continue
-            mask = np.zeros(seg.npages, dtype=bool)
-            acc = self._dirty.get(seg.sid)
-            if acc is not None:
-                n = min(len(acc), seg.npages)
-                mask[:n] |= acc[:n]
-            known = self._last_npages.get(seg.sid)
-            if known is None:
-                mask[:] = True              # whole segment is new
-            else:
-                new_from = known
-                if (seg.kind.value == "heap" and self._heap_low is not None):
-                    new_from = min(new_from, self._heap_low)
-                if new_from < seg.npages:
-                    mask[new_from:] = True  # grown/regrown pages
+            mask, _ = self._capture_masks(seg)
             indices = np.flatnonzero(mask)
             if len(indices):
                 payloads.append(PagePayload(

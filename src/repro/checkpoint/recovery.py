@@ -35,7 +35,8 @@ def replay_chain(chain: Sequence[Checkpoint]) \
     if chain[0].kind != "full":
         raise RecoveryError("chain must start with a full checkpoint")
     page_size = chain[0].page_size
-    has_bytes = any(p.page_bytes is not None
+    has_bytes = any(getattr(p, "page_bytes", None) is not None
+                    or getattr(p, "block_bytes", None) is not None
                     for c in chain for p in c.payloads)
     state: dict[int, tuple[SegmentRecord, np.ndarray, Optional[np.ndarray]]] = {}
     for ckpt in chain:
@@ -58,6 +59,27 @@ def replay_chain(chain: Sequence[Checkpoint]) \
                 raise RecoveryError(
                     f"payload for unknown segment sid {payload.sid}")
             rec, versions, content = entry
+            if ckpt.kind == "dcp":
+                # block-granular piece: stamp pages with the max block
+                # hash (== the page's write version under the signature
+                # backend), scatter block bytes into the page grid
+                bpp = ckpt.page_size // ckpt.block_size
+                in_range = payload.indices < rec.npages * bpp
+                idx = payload.indices[in_range]
+                # a page with every block emitted (forced full-page emit
+                # for new/regrown pages, or all blocks changed) takes
+                # exactly max(emitted versions) -- the carried version
+                # may be a stale higher value from before a shrink; a
+                # partially-emitted page keeps its unchanged blocks, so
+                # its version is max(carried, emitted)
+                touched, counts = np.unique(idx // bpp, return_counts=True)
+                versions[touched[counts == bpp]] = 0
+                np.maximum.at(versions, idx // bpp,
+                              payload.versions[in_range])
+                if content is not None and payload.block_bytes is not None:
+                    content.reshape(-1, ckpt.block_size)[idx] = \
+                        payload.block_bytes[in_range]
+                continue
             in_range = payload.indices < rec.npages
             versions[payload.indices[in_range]] = payload.versions[in_range]
             if content is not None and payload.page_bytes is not None:

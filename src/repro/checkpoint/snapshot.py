@@ -63,32 +63,93 @@ class PagePayload:
 
 
 @dataclass(frozen=True)
+class BlockPayload:
+    """Saved sub-page blocks of one segment (dcp mode): parallel
+    block-index/hash arrays, plus (under the bytes backend) the real
+    block contents.
+
+    ``indices`` are flat block indices within the segment (ascending):
+    block ``i`` covers bytes ``[i * block_size, (i + 1) * block_size)``.
+    ``versions`` carries one 64-bit word per saved block -- the block's
+    write version under the signature backend (where it doubles as the
+    content hash), a truncated blake2b content digest under the bytes
+    backend.
+    """
+
+    sid: int
+    indices: np.ndarray    #: flat block indices within the segment (ascending)
+    versions: np.ndarray   #: content hash / write version per saved block
+    #: real content, shape (nblocks, block_size) uint8; None under the
+    #: default signature-only backend
+    block_bytes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.versions):
+            raise CheckpointError("payload index/version length mismatch")
+        if (self.block_bytes is not None
+                and len(self.block_bytes) != len(self.indices)):
+            raise CheckpointError("payload byte-content length mismatch")
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
 class Checkpoint:
     """One rank's checkpoint: geometry + payloads."""
 
     seq: int
-    kind: str                       #: "full" or "incremental"
+    kind: str                       #: "full", "incremental", or "dcp"
     taken_at: float
     page_size: int
     geometry: tuple[SegmentRecord, ...]
     payloads: tuple[PagePayload, ...]
+    #: sub-page block granularity (bytes); set iff ``kind == "dcp"``,
+    #: whose payloads are :class:`BlockPayload` pieces
+    block_size: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("full", "incremental"):
+        if self.kind not in ("full", "incremental", "dcp"):
             raise CheckpointError(f"unknown checkpoint kind {self.kind!r}")
+        if self.kind == "dcp":
+            if self.block_size is None:
+                raise CheckpointError("dcp checkpoint needs a block size")
+            if self.block_size < 1 or self.page_size % self.block_size:
+                raise CheckpointError(
+                    f"block size {self.block_size} must be >= 1 and divide "
+                    f"the page size {self.page_size}")
         sids = {rec.sid for rec in self.geometry}
         for p in self.payloads:
             if p.sid not in sids:
                 raise CheckpointError(
                     f"payload for sid {p.sid} has no geometry record")
+            if self.kind == "dcp" and not isinstance(p, BlockPayload):
+                raise CheckpointError(
+                    "dcp checkpoints carry block payloads only")
+            if self.kind != "dcp" and isinstance(p, BlockPayload):
+                raise CheckpointError(
+                    f"{self.kind} checkpoints carry page payloads only")
 
     @property
     def pages_saved(self) -> int:
-        return sum(p.npages for p in self.payloads)
+        return sum(p.npages for p in self.payloads
+                   if isinstance(p, PagePayload))
+
+    @property
+    def blocks_saved(self) -> int:
+        return sum(p.nblocks for p in self.payloads
+                   if isinstance(p, BlockPayload))
 
     @property
     def nbytes(self) -> int:
-        """Modelled size on stable storage."""
+        """Modelled size on stable storage.  dcp pieces pay per saved
+        *block*; the per-segment header amortizes the block bitmap, so a
+        dcp delta at ``block_size == page_size`` costs exactly what the
+        page-granular incremental delta would."""
+        if self.kind == "dcp":
+            return (self.blocks_saved * self.block_size
+                    + SEGMENT_HEADER_BYTES * len(self.geometry))
         return (self.pages_saved * self.page_size
                 + SEGMENT_HEADER_BYTES * len(self.geometry))
 

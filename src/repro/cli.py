@@ -196,6 +196,15 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--ckpt-full-every", type=_positive_int, default=4,
                      help="full checkpoint every N captures (with "
                           "--ckpt-transport)")
+    run.add_argument("--ckpt-mode", choices=("incremental", "dcp"),
+                     default="incremental",
+                     help="delta granularity: whole dirty pages "
+                          "('incremental') or sub-page differential "
+                          "blocks ('dcp')")
+    run.add_argument("--dcp-block-size", type=_positive_int, default=256,
+                     metavar="BYTES",
+                     help="dcp block granularity; must divide the page "
+                          "size (default 256)")
     run.add_argument("--store-out", metavar="FILE", default=None,
                      help="archive the final checkpoint store to FILE "
                           "(verifiable with 'ckpt verify'; needs "
@@ -298,6 +307,15 @@ def _parser() -> argparse.ArgumentParser:
                       default="estimate",
                       help="checkpoint data path (default: estimate, "
                            "the flat-duration sink writes)")
+    frun.add_argument("--ckpt-mode", choices=("incremental", "dcp"),
+                      default="incremental",
+                      help="delta granularity: whole dirty pages "
+                           "('incremental') or sub-page differential "
+                           "blocks ('dcp')")
+    frun.add_argument("--dcp-block-size", type=_positive_int, default=256,
+                      metavar="BYTES",
+                      help="dcp block granularity; must divide the page "
+                           "size (default 256)")
     _add_obs_flags(frun)
 
     ckpt = sub.add_parser("ckpt", help="checkpoint store utilities")
@@ -383,12 +401,19 @@ def cmd_run(args, out) -> int:
     """``run``: one instrumented experiment, stats to stdout."""
     if args.shards > 1 and _reject_profile_with_workers(args, "--shards > 1"):
         return 2
-    config = paper_config(args.app, nranks=args.ranks,
-                          timeslice=args.timeslice,
-                          run_duration=args.duration,
-                          ckpt_transport=args.ckpt_transport,
-                          ckpt_interval_slices=args.ckpt_interval,
-                          ckpt_full_every=args.ckpt_full_every)
+    from repro.errors import ConfigurationError
+    try:
+        config = paper_config(args.app, nranks=args.ranks,
+                              timeslice=args.timeslice,
+                              run_duration=args.duration,
+                              ckpt_transport=args.ckpt_transport,
+                              ckpt_interval_slices=args.ckpt_interval,
+                              ckpt_full_every=args.ckpt_full_every,
+                              ckpt_mode=args.ckpt_mode,
+                              dcp_block_size=args.dcp_block_size)
+    except ConfigurationError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
     obs = _make_obs(args)
     result = run_experiment(config, obs=obs, shards=args.shards)
     _finish_obs(obs, args, out)
@@ -527,14 +552,20 @@ def cmd_ckpt_verify(args, out) -> int:
 
 def cmd_faults_run(args, out) -> int:
     """``faults run``: one fault-injection experiment with recovery."""
-    from repro.errors import FaultPlanError
+    from repro.errors import ConfigurationError, FaultPlanError
     from repro.faults import FaultPlan, run_with_failures
     from repro.feasibility import FailureModel, observed_efficiency, \
         predicted_vs_observed
 
-    config = paper_config(args.app, nranks=args.ranks,
-                          timeslice=args.timeslice,
-                          run_duration=args.duration)
+    try:
+        config = paper_config(args.app, nranks=args.ranks,
+                              timeslice=args.timeslice,
+                              run_duration=args.duration,
+                              ckpt_mode=args.ckpt_mode,
+                              dcp_block_size=args.dcp_block_size)
+    except ConfigurationError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
     if args.mtbf is None and args.plan is None and not args.corrupt:
         print("need a fault source: --mtbf, --plan, or --corrupt",
               file=sys.stderr)

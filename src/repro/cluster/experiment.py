@@ -48,6 +48,11 @@ class ExperimentConfig:
     ckpt_transport: Optional[str] = None
     ckpt_interval_slices: int = 2
     ckpt_full_every: int = 4
+    #: delta capture granularity: "incremental" (whole dirty pages) or
+    #: "dcp" (sub-page differential blocks)
+    ckpt_mode: str = "incremental"
+    #: block granularity (bytes) for ``ckpt_mode="dcp"``
+    dcp_block_size: int = 256
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
@@ -65,6 +70,14 @@ class ExperimentConfig:
             raise ConfigurationError("ckpt_interval_slices must be >= 1")
         if self.ckpt_full_every < 1:
             raise ConfigurationError("ckpt_full_every must be >= 1")
+        if self.ckpt_mode not in ("incremental", "dcp"):
+            raise ConfigurationError(
+                f"unknown checkpoint mode {self.ckpt_mode!r}; expected "
+                f"'incremental' or 'dcp'")
+        if self.dcp_block_size < 1 or self.page_size % self.dcp_block_size:
+            raise ConfigurationError(
+                f"dcp_block_size {self.dcp_block_size} must be >= 1 and "
+                f"divide the page size {self.page_size}")
 
     def scaled(self, **changes) -> "ExperimentConfig":
         """A copy with some fields replaced (parameter sweeps)."""
@@ -236,7 +249,9 @@ def _execute(config: ExperimentConfig, obs, coalesce_timers: bool,
                                 full_every=config.ckpt_full_every,
                                 keep_payloads=False,
                                 gc=(config.ckpt_transport == "diskless"),
-                                transport=config.ckpt_transport)
+                                transport=config.ckpt_transport,
+                                mode=config.ckpt_mode,
+                                dcp_block_size=config.dcp_block_size)
     if before_run is not None:
         before_run(engine, app, job, library)
     procs = job.launch(app.make_body())

@@ -227,7 +227,9 @@ class FailureRecoveryDriver:
         ckpt = CheckpointEngine(job, library,
                                 interval_slices=self.interval_slices,
                                 full_every=self.full_every,
-                                transport=self.ckpt_transport)
+                                transport=self.ckpt_transport,
+                                mode=config.ckpt_mode,
+                                dcp_block_size=config.dcp_block_size)
 
         life = LifeResult(index=index, t_start=t_start, t_end=t_start,
                           logs={}, store=ckpt.store, committed=[],

@@ -15,6 +15,9 @@ from repro.feasibility.technology import TechnologyEnvelope, TrendModel
 from repro.feasibility.analyzer import (FeasibilityAnalyzer,
                                         FeasibilityVerdict, MeasuredVerdict)
 from repro.feasibility.taxonomy import ABSTRACTION_LEVELS, AbstractionLevel
+from repro.feasibility.falsesharing import (FalseSharingCell,
+                                            false_sharing_ablation,
+                                            markdown_table)
 from repro.feasibility.availability import (
     CheckpointCostModel,
     FailureModel,
@@ -34,6 +37,7 @@ __all__ = [
     "AbstractionLevel",
     "CheckpointCostModel",
     "FailureModel",
+    "FalseSharingCell",
     "FeasibilityAnalyzer",
     "FeasibilityVerdict",
     "MeasuredVerdict",
@@ -41,7 +45,9 @@ __all__ = [
     "TrendModel",
     "efficiency",
     "efficiency_curve",
+    "false_sharing_ablation",
     "integrity_checked_cost",
+    "markdown_table",
     "observed_efficiency",
     "optimal_efficiency",
     "predicted_vs_observed",

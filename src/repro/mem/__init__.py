@@ -18,6 +18,7 @@ library relies on:
   correctness can be verified without storing gigabytes.
 """
 
+from repro.mem.blocks import BlockTable
 from repro.mem.layout import Layout
 from repro.mem.pagetable import PageTable, PhantomPageTable
 from repro.mem.segment import Segment, SegmentKind
@@ -25,6 +26,7 @@ from repro.mem.address_space import AddressSpace, WriteResult
 
 __all__ = [
     "AddressSpace",
+    "BlockTable",
     "Layout",
     "PageTable",
     "PhantomPageTable",

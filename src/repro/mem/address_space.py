@@ -121,6 +121,9 @@ class AddressSpace:
         #: called with (old_npages, new_npages) on every brk/sbrk; the
         #: incremental checkpointer uses it to notice shrink-then-regrow
         self.heap_resize_listeners: list[Callable[[int, int], None]] = []
+        #: sub-page block granularity (bytes) when dcp tracking is on;
+        #: None keeps the write paths block-free (the default)
+        self._block_size: Optional[int] = None
 
     # -- basic queries -----------------------------------------------------------
 
@@ -214,6 +217,48 @@ class AddressSpace:
                 pages.protect_all()
         return self._totals()[0]
 
+    # -- block tracking (dcp checkpoint support) --------------------------------------
+
+    @property
+    def block_size(self) -> Optional[int]:
+        """Sub-page block granularity, or None when block tracking is off."""
+        return self._block_size
+
+    def enable_block_tracking(self, block_size: int) -> int:
+        """Attach block-granular write-version tracking to every data
+        segment (present and future); returns blocks per page.
+
+        The write paths then stamp exactly the blocks each store covers
+        with the same monotonic version the page table records, giving
+        dcp checkpoints a sub-page view of what actually changed.
+        Idempotent for the same block size; a second size raises.
+        """
+        if self.phantom:
+            raise MappingError(
+                "cannot track blocks on a phantom address space "
+                "(rank owned by another shard)")
+        if self._block_size is not None:
+            if self._block_size != block_size:
+                raise MappingError(
+                    f"block tracking already enabled at "
+                    f"{self._block_size} B, cannot switch to {block_size} B")
+            return self.page_size // block_size
+        if block_size < 1 or self.page_size % block_size:
+            raise MappingError(
+                f"block size {block_size} must be >= 1 and divide the "
+                f"page size {self.page_size}")
+        self._block_size = block_size
+        for seg in self.data_segments():
+            seg.enable_blocks(block_size)
+        return self.page_size // block_size
+
+    def _attach_blocks(self, seg: Segment) -> None:
+        """Give a newly mapped data segment its block table when block
+        tracking is on (arena-reused segments may already carry one)."""
+        if (self._block_size is not None and seg.blocks is None
+                and seg.kind.is_data_memory):
+            seg.enable_blocks(self._block_size)
+
     # -- write paths ----------------------------------------------------------------
 
     def _next_version(self) -> int:
@@ -238,14 +283,28 @@ class AddressSpace:
         """
         seg = self._resolve(addr, size)
         lo, hi = seg.page_range(addr, size)
-        result = self.cpu_write_pages(seg, lo, hi)
+        off = addr - seg.base
+        result = self.cpu_write_pages(seg, lo, hi, _byte_span=(off, off + size))
         self._store_bytes(seg, addr, size, data)
         return result
 
-    def cpu_write_pages(self, seg: Segment, lo: int, hi: int) -> WriteResult:
-        """Fast path: CPU store covering pages ``[lo, hi)`` of ``seg``."""
+    def cpu_write_pages(self, seg: Segment, lo: int, hi: int,
+                        _byte_span: Optional[tuple[int, int]] = None
+                        ) -> WriteResult:
+        """Fast path: CPU store covering pages ``[lo, hi)`` of ``seg``.
+
+        ``_byte_span`` (segment byte offsets, set by the byte-granular
+        :meth:`cpu_write` entry) narrows dcp block marking to the bytes
+        actually stored; whole-page callers mark every covered block.
+        """
         self._version = version = self._version + 1
         faults = seg.pages.cpu_write(lo, hi, version)
+        blocks = seg.blocks
+        if blocks is not None:
+            if _byte_span is None:
+                blocks.mark_pages(lo, hi, version)
+            else:
+                blocks.mark_bytes(_byte_span[0], _byte_span[1], version)
         if seg.kind is SegmentKind.STACK:
             if self._stack_low_page is None or lo < self._stack_low_page:
                 self._stack_low_page = lo
@@ -269,7 +328,12 @@ class AddressSpace:
         """A device store (NIC DMA): bypasses protection and dirty tracking."""
         seg = self._resolve(addr, size)
         lo, hi = seg.page_range(addr, size)
-        missed = seg.pages.dma_write(lo, hi, self._next_version())
+        version = self._next_version()
+        missed = seg.pages.dma_write(lo, hi, version)
+        blocks = seg.blocks
+        if blocks is not None:
+            off = addr - seg.base
+            blocks.mark_bytes(off, off + size, version)
         self._store_bytes(seg, addr, size, data)
         return WriteResult(pages=hi - lo, faults=0, missed=missed)
 
@@ -350,6 +414,7 @@ class AddressSpace:
                           name=name or f"mmap@{base:#x}",
                           store_contents=self.store_contents,
                           phantom=self.phantom)
+        self._attach_blocks(seg)
         self._mmaps[base] = seg
         self._invalidate_caches()
         for listener in self.map_listeners:
@@ -377,6 +442,7 @@ class AddressSpace:
                       name=name or f"mmap@{base:#x}",
                       store_contents=self.store_contents,
                       phantom=self.phantom)
+        self._attach_blocks(seg)
         self._mmaps[base] = seg
         self._invalidate_caches()
         for listener in self.map_listeners:
@@ -440,12 +506,15 @@ class AddressSpace:
         if addr > seg.base:
             head_pages = (addr - seg.base) // self.page_size
             mid_table = seg.pages.split(head_pages)  # seg keeps the head
+            mid_blocks = (seg.blocks.split(head_pages)
+                          if seg.blocks is not None else None)
             if seg.contents is not None:
                 del seg.contents[head_pages * self.page_size:]
             self._mmaps[seg.base] = seg
             self._invalidate_caches()
         else:
             mid_table = seg.pages
+            mid_blocks = seg.blocks
         if addr + size < orig_end:
             tail_base = addr + size
             tail_table = mid_table.split(size // self.page_size)
@@ -453,6 +522,8 @@ class AddressSpace:
                            self.page_size, name=f"{seg.name}+tail",
                            store_contents=self.store_contents)
             tail.pages = tail_table
+            if mid_blocks is not None:
+                tail.blocks = mid_blocks.split(size // self.page_size)
             if orig_contents is not None:
                 off = tail_base - orig_base
                 tail.contents = bytearray(

@@ -13,6 +13,7 @@ import itertools
 from typing import Optional
 
 from repro.errors import MappingError
+from repro.mem.blocks import BlockTable
 from repro.mem.pagetable import PageTable, PhantomPageTable
 from repro.units import is_power_of_two
 
@@ -47,7 +48,7 @@ class Segment:
     """
 
     __slots__ = ("sid", "kind", "base", "page_size", "pages", "name",
-                 "contents")
+                 "contents", "blocks")
 
     def __init__(self, kind: SegmentKind, base: int, size: int,
                  page_size: int, name: str = "", sid: Optional[int] = None,
@@ -71,6 +72,20 @@ class Segment:
         #: default signature-only backend
         self.contents: Optional[bytearray] = (
             bytearray(size) if store_contents else None)
+        #: sub-page block-version state (dcp checkpoint mode); None until
+        #: :meth:`enable_blocks` / AddressSpace.enable_block_tracking
+        self.blocks: Optional[BlockTable] = None
+
+    def enable_blocks(self, block_size: int) -> None:
+        """Attach block-granular write tracking at ``block_size`` bytes
+        per block (idempotent for the same size)."""
+        if self.blocks is not None:
+            if self.blocks.block_size != block_size:
+                raise MappingError(
+                    f"segment {self.name!r} already tracks "
+                    f"{self.blocks.block_size}-byte blocks")
+            return
+        self.blocks = BlockTable(self.npages, self.page_size, block_size)
 
     # -- geometry -------------------------------------------------------------
 
@@ -135,6 +150,8 @@ class Segment:
         self.base = base
         self.name = name
         self.pages.recycle()
+        if self.blocks is not None:
+            self.blocks.recycle()
 
     # -- growth ---------------------------------------------------------------
 
@@ -142,6 +159,8 @@ class Segment:
         """Grow/shrink in place (heap via brk, stack growth).  New byte
         content arrives zero-filled, like the kernel's fresh pages."""
         self.pages.resize(npages)
+        if self.blocks is not None:
+            self.blocks.resize(npages)
         if self.contents is not None:
             new_size = npages * self.page_size
             if new_size > len(self.contents):

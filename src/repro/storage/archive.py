@@ -49,30 +49,39 @@ def _encode_payload(payload) -> bytes:
     """Checkpoint object -> canonical bytes (JSON meta + raw arrays)."""
     if payload is None:
         return b""
+    dcp = payload.kind == "dcp"
+
+    def _bytes_of(p):
+        return p.block_bytes if dcp else p.page_bytes
+
     meta = {
         "seq": payload.seq, "kind": payload.kind,
         "taken_at": payload.taken_at, "page_size": payload.page_size,
         "geometry": [[r.sid, r.kind, r.base, r.npages]
                      for r in payload.geometry],
-        "payloads": [[p.sid, int(len(p.indices)), p.page_bytes is not None]
+        "payloads": [[p.sid, int(len(p.indices)), _bytes_of(p) is not None]
                      for p in payload.payloads],
     }
+    if dcp:
+        # only dcp pieces carry the key, so page-mode archives stay
+        # byte-identical to the pre-dcp format
+        meta["block_size"] = payload.block_size
     parts = [_frame(json.dumps(meta, sort_keys=True).encode())]
     for p in payload.payloads:
         parts.append(np.ascontiguousarray(p.indices,
                                           dtype=np.int64).tobytes())
         parts.append(np.ascontiguousarray(p.versions,
                                           dtype=np.uint64).tobytes())
-        if p.page_bytes is not None:
-            parts.append(np.ascontiguousarray(p.page_bytes,
+        if _bytes_of(p) is not None:
+            parts.append(np.ascontiguousarray(_bytes_of(p),
                                               dtype=np.uint8).tobytes())
     return b"".join(parts)
 
 
 def _decode_payload(blob: bytes):
     """Bytes -> Checkpoint; raises StorageError on any malformation."""
-    from repro.checkpoint.snapshot import (Checkpoint, PagePayload,
-                                           SegmentRecord)
+    from repro.checkpoint.snapshot import (Checkpoint, BlockPayload,
+                                           PagePayload, SegmentRecord)
     if not blob:
         return None
     meta_raw, offset = _read_frame(blob, 0, what="payload meta")
@@ -81,23 +90,31 @@ def _decode_payload(blob: bytes):
         geometry = tuple(SegmentRecord(sid=s, kind=k, base=b, npages=n)
                          for s, k, b, n in meta["geometry"])
         page_size = int(meta["page_size"])
+        dcp = meta["kind"] == "dcp"
+        block_size = int(meta["block_size"]) if dcp else None
         payloads = []
-        for sid, npages, has_bytes in meta["payloads"]:
-            npages = int(npages)
-            indices, offset = _take_array(blob, offset, npages, np.int64)
-            versions, offset = _take_array(blob, offset, npages, np.uint64)
-            page_bytes = None
+        for sid, nunits, has_bytes in meta["payloads"]:
+            nunits = int(nunits)
+            indices, offset = _take_array(blob, offset, nunits, np.int64)
+            versions, offset = _take_array(blob, offset, nunits, np.uint64)
+            unit_bytes = None
             if has_bytes:
+                width = block_size if dcp else page_size
                 flat, offset = _take_array(blob, offset,
-                                           npages * page_size, np.uint8)
-                page_bytes = flat.reshape(npages, page_size)
-            payloads.append(PagePayload(sid=int(sid), indices=indices,
-                                        versions=versions,
-                                        page_bytes=page_bytes))
+                                           nunits * width, np.uint8)
+                unit_bytes = flat.reshape(nunits, width)
+            if dcp:
+                payloads.append(BlockPayload(sid=int(sid), indices=indices,
+                                             versions=versions,
+                                             block_bytes=unit_bytes))
+            else:
+                payloads.append(PagePayload(sid=int(sid), indices=indices,
+                                            versions=versions,
+                                            page_bytes=unit_bytes))
         return Checkpoint(seq=int(meta["seq"]), kind=meta["kind"],
                           taken_at=float(meta["taken_at"]),
                           page_size=page_size, geometry=geometry,
-                          payloads=tuple(payloads))
+                          payloads=tuple(payloads), block_size=block_size)
     except StorageError:
         raise
     except Exception as exc:

@@ -57,6 +57,21 @@ def piece_digest(rank: int, seq: int, kind: str, nbytes: int,
         for rec in payload.geometry:
             h.update(f"g{rec.sid}|{rec.kind}|{rec.base}|{rec.npages}".encode())
         for p in payload.payloads:
+            if hasattr(p, "block_bytes"):
+                # dcp block piece: a distinct tag (and the block size)
+                # keeps it from ever colliding with a page piece whose
+                # arrays happen to match
+                h.update(f"B{p.sid}|{len(p.indices)}"
+                         f"|{payload.block_size}".encode())
+                h.update(np.ascontiguousarray(p.indices,
+                                              dtype=np.int64).tobytes())
+                h.update(np.ascontiguousarray(p.versions,
+                                              dtype=np.uint64).tobytes())
+                if p.block_bytes is not None:
+                    h.update(b"b")
+                    h.update(np.ascontiguousarray(p.block_bytes,
+                                                  dtype=np.uint8).tobytes())
+                continue
             h.update(f"p{p.sid}|{len(p.indices)}".encode())
             h.update(np.ascontiguousarray(p.indices, dtype=np.int64).tobytes())
             h.update(np.ascontiguousarray(p.versions,

@@ -43,7 +43,7 @@ class StoredObject:
 
     rank: int
     seq: int
-    kind: str           #: "full" or "incremental"
+    kind: str           #: "full", "incremental", or "dcp"
     nbytes: int
     payload: Any = field(compare=False, default=None)
     stored_at: float = field(compare=False, default=0.0)
@@ -58,7 +58,7 @@ class StoredObject:
 class CheckpointStore:
     """In-memory model of stable storage for checkpoint chains."""
 
-    KINDS = ("full", "incremental")
+    KINDS = ("full", "incremental", "dcp")
 
     def __init__(self, nranks: int):
         if nranks < 1:
@@ -88,7 +88,7 @@ class CheckpointStore:
         digest = piece_digest(rank, seq, kind, nbytes, payload)
         prev_digest = chain[-1].digest if chain else None
         base_digest = None
-        if kind == "incremental":
+        if kind != "full":        # incremental and dcp deltas link to base
             for obj in reversed(chain):
                 if obj.kind == "full":
                     base_digest = obj.digest
@@ -215,7 +215,8 @@ class CheckpointStore:
             return []
         views = []
         for p in obj.payload.payloads:
-            for arr in (p.page_bytes, p.versions):
+            for arr in (getattr(p, "page_bytes", None),
+                        getattr(p, "block_bytes", None), p.versions):
                 if arr is not None and arr.size and arr.flags.c_contiguous:
                     views.append(arr.view(np.uint8).reshape(-1))
         return views
@@ -250,35 +251,49 @@ class CheckpointStore:
 
     @staticmethod
     def _truncate_payload(payload, keep_bytes: int):
-        """Drop trailing saved pages until the modelled size fits."""
-        from repro.checkpoint.snapshot import Checkpoint, PagePayload
-        kept = []
-        for p in payload.payloads:
-            kept.append(p)
-        while kept:
-            size = Checkpoint(seq=payload.seq, kind=payload.kind,
+        """Drop trailing saved pages (or blocks, for dcp pieces) until
+        the modelled size fits."""
+        from repro.checkpoint.snapshot import (Checkpoint, BlockPayload,
+                                               PagePayload)
+
+        def rebuild(kept):
+            return Checkpoint(seq=payload.seq, kind=payload.kind,
                               taken_at=payload.taken_at,
                               page_size=payload.page_size,
                               geometry=payload.geometry,
-                              payloads=tuple(kept)).nbytes
+                              payloads=tuple(kept),
+                              block_size=payload.block_size)
+
+        def units(p) -> int:
+            return len(p.indices)
+
+        def head(p, n):
+            if isinstance(p, BlockPayload):
+                return BlockPayload(
+                    sid=p.sid, indices=p.indices[:n],
+                    versions=p.versions[:n],
+                    block_bytes=(None if p.block_bytes is None
+                                 else p.block_bytes[:n]))
+            return PagePayload(
+                sid=p.sid, indices=p.indices[:n],
+                versions=p.versions[:n],
+                page_bytes=(None if p.page_bytes is None
+                            else p.page_bytes[:n]))
+
+        kept = list(payload.payloads)
+        while kept:
+            size = rebuild(kept).nbytes
             if size <= keep_bytes:
                 break
             last = kept[-1]
-            if last.npages <= 1:
+            n_units = units(last)
+            if n_units <= 1:
                 kept.pop()
                 continue
-            drop = max(1, last.npages
-                       - max(0, (last.npages * keep_bytes) // max(size, 1)))
-            n = last.npages - drop
-            kept[-1] = PagePayload(
-                sid=last.sid, indices=last.indices[:n],
-                versions=last.versions[:n],
-                page_bytes=(None if last.page_bytes is None
-                            else last.page_bytes[:n]))
-        return Checkpoint(seq=payload.seq, kind=payload.kind,
-                          taken_at=payload.taken_at,
-                          page_size=payload.page_size,
-                          geometry=payload.geometry, payloads=tuple(kept))
+            drop = max(1, n_units
+                       - max(0, (n_units * keep_bytes) // max(size, 1)))
+            kept[-1] = head(last, n_units - drop)
+        return rebuild(kept)
 
     def drop_piece(self, rank: int, seq: int) -> StoredObject:
         """Silently lose one piece from a chain -- no poisoning, no

@@ -1,0 +1,158 @@
+"""Property tests for sub-page differential (dcp) checkpointing.
+
+Two pillars, both hypothesis-driven:
+
+1. **Restore is exact at every crash point.**  Random write patterns
+   are checkpointed as a full plus dcp deltas at random block sizes
+   (including the 1-byte edge case); truncating the chain at *every*
+   prefix and replaying must reproduce the state recorded at that
+   capture bit-identically -- version-identical on the signature
+   backend, content-identical on the bytes backend.
+2. **Hash vectors are deterministic.**  The per-page block hash vector
+   is a pure function of the segment's history: two identical runs
+   produce equal vectors, element for element, on both backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (DcpCheckpointer, FullCheckpointer,
+                              content_block_hashes, restore_address_space)
+from repro.errors import CheckpointError
+from repro.mem import AddressSpace, Layout
+
+PS = 4096
+LAYOUT = Layout(page_size=PS)
+DATA_PAGES = 4
+BLOCK_SIZES = [1, 16, 64, PS // 2, PS]
+
+#: one inter-checkpoint interval: a handful of (offset, length) stores
+writes = st.lists(
+    st.tuples(st.integers(0, DATA_PAGES * PS - 1),
+              st.integers(1, 3 * PS)),
+    min_size=0, max_size=4)
+histories = st.lists(writes, min_size=1, max_size=5)
+
+
+def make_space(store_contents):
+    asp = AddressSpace(LAYOUT, data_size=DATA_PAGES * PS, bss_size=PS,
+                       store_contents=store_contents)
+    asp.protect_data()
+    return asp
+
+
+def apply_interval(asp, rng, interval, store_contents):
+    for offset, length in interval:
+        length = min(length, DATA_PAGES * PS - offset)
+        data = (rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+                if store_contents else None)
+        asp.cpu_write(asp.data.base + offset, length, data=data)
+
+
+def content_of(asp):
+    # keyed like state_signature(): sid allocation is a process-global
+    # counter, so restored spaces never share sids with the original
+    return {(seg.kind.value, seg.base): bytes(seg.contents)
+            for seg in asp.data_segments() if seg.npages}
+
+
+def build_chain(asp, block_size, rng, history, store_contents, snapshot):
+    """Full + one dcp delta per interval; ``snapshot(asp)`` records the
+    comparable state right after each capture."""
+    dcp = DcpCheckpointer(asp, block_size=block_size)
+    chain = [FullCheckpointer().capture(asp, seq=0)]
+    dcp.mark_baseline()
+    states = [snapshot(asp)]
+    for seq, interval in enumerate(history, start=1):
+        apply_interval(asp, rng, interval, store_contents)
+        chain.append(dcp.capture(seq=seq))
+        states.append(snapshot(asp))
+    return chain, states
+
+
+@settings(max_examples=25, deadline=None)
+@given(block_size=st.sampled_from(BLOCK_SIZES), history=histories,
+       seed=st.integers(0, 2**32 - 1))
+def test_restore_version_identical_at_every_crash_point(block_size, history,
+                                                        seed):
+    rng = np.random.default_rng(seed)
+    asp = make_space(False)
+    chain, states = build_chain(asp, block_size, rng, history, False,
+                                lambda a: a.state_signature())
+    for k in range(1, len(chain) + 1):
+        restored = restore_address_space(chain[:k], layout=LAYOUT)
+        assert AddressSpace.signatures_equal(
+            restored.state_signature(), states[k - 1]), \
+            f"crash after piece {k - 1} restored a different state"
+
+
+@settings(max_examples=10, deadline=None)
+@given(block_size=st.sampled_from([1, 64, 512, PS]), history=histories,
+       seed=st.integers(0, 2**32 - 1))
+def test_restore_content_bit_identical_on_bytes_backend(block_size, history,
+                                                        seed):
+    rng = np.random.default_rng(seed)
+    asp = make_space(True)
+    chain, states = build_chain(asp, block_size, rng, history, True,
+                                content_of)
+    for k in range(1, len(chain) + 1):
+        restored = restore_address_space(chain[:k], layout=LAYOUT)
+        assert content_of(restored) == states[k - 1], \
+            f"crash after piece {k - 1} restored different bytes"
+
+
+@settings(max_examples=20, deadline=None)
+@given(block_size=st.sampled_from([16, 256, PS]), history=histories,
+       seed=st.integers(0, 2**32 - 1))
+def test_content_hash_vectors_deterministic(block_size, history, seed):
+    vecs = []
+    for _ in range(2):
+        rng = np.random.default_rng(seed)
+        asp = make_space(True)
+        for interval in history:
+            apply_interval(asp, rng, interval, True)
+        pages = np.arange(asp.data.npages)
+        vecs.append(content_block_hashes(asp.data, pages, block_size))
+    assert np.array_equal(vecs[0], vecs[1])
+
+
+@settings(max_examples=20, deadline=None)
+@given(history=histories, seed=st.integers(0, 2**32 - 1))
+def test_block_version_vectors_deterministic(history, seed):
+    vecs = []
+    for _ in range(2):
+        rng = np.random.default_rng(seed)
+        asp = make_space(False)
+        asp.enable_block_tracking(64)
+        for interval in history:
+            apply_interval(asp, rng, interval, False)
+        vecs.append(asp.data.blocks.versions.copy())
+    assert np.array_equal(vecs[0], vecs[1])
+
+
+def test_restore_exact_through_heap_shrink_and_regrow():
+    # the stale-baseline hazard: a heap page freed and re-mapped between
+    # checkpoints must be re-emitted whole even if its hashes match the
+    # pre-shrink baseline
+    asp = make_space(False)
+    dcp = DcpCheckpointer(asp, block_size=64)
+    asp.sbrk(2 * PS)
+    asp.cpu_write(asp.heap.base, 2 * PS)
+    chain = [FullCheckpointer().capture(asp, seq=0)]
+    dcp.mark_baseline()
+    asp.sbrk(-2 * PS)
+    asp.sbrk(2 * PS)
+    asp.cpu_write(asp.heap.base, PS)
+    chain.append(dcp.capture(seq=1))
+    restored = restore_address_space(chain, layout=LAYOUT)
+    assert AddressSpace.signatures_equal(restored.state_signature(),
+                                         asp.state_signature())
+
+
+def test_invalid_block_sizes_rejected():
+    asp = make_space(False)
+    for bad in (0, -1, 3, PS + 1, PS - 1):
+        with pytest.raises(CheckpointError):
+            DcpCheckpointer(asp, block_size=bad)

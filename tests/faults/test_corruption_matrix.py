@@ -177,6 +177,71 @@ def test_dropped_piece_without_integrity_raises_on_missing_chain():
     assert res.failures[0].recovered_seq == 7
 
 
+# -- the same matrix over sub-page (dcp) block pieces -------------------------
+
+DCP_CONFIG = ExperimentConfig(spec=SPEC, nranks=3, timeslice=0.5,
+                              run_duration=7.0, ckpt_mode="dcp",
+                              dcp_block_size=64)
+
+
+@pytest.fixture(scope="module")
+def dcp_reference():
+    """Failure-free dcp run: ground truth for the dcp matrix cells."""
+    return run_matrix(FaultPlan.none(), config=DCP_CONFIG)
+
+
+def test_dcp_reference_chains_are_block_granular(dcp_reference):
+    # the cells below only mean something if the deltas really are
+    # block pieces riding the same verified chains
+    store = dcp_reference.lives[0].store
+    kinds = {o.kind for o in store.pieces(VICTIM)}
+    assert "dcp" in kinds and "full" in kinds
+    assert "incremental" not in kinds
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+@pytest.mark.parametrize("seq,t_corrupt,want_seq", POSITIONS)
+def test_dcp_matrix_detects_and_recovers_bit_identical(kind, seq, t_corrupt,
+                                                       want_seq,
+                                                       dcp_reference):
+    plan = FaultPlan([corruption(kind, t_corrupt, seq), CRASH])
+    res = run_matrix(plan, config=DCP_CONFIG)
+
+    assert len(res.failures) == 1
+    rec = res.failures[0]
+    assert res.lives[-1].iterations > 0
+
+    assert res.corruptions, "corruption of a block piece went undetected"
+    assert all(c.rank == VICTIM and c.life == 0 for c in res.corruptions)
+    rejected = {c.rejected_seq for c in res.corruptions}
+    assert max(rejected) == 9
+
+    if want_seq is None:
+        assert rec.recovered_seq is None
+        assert res.metrics.from_scratch == 1
+        assert rejected == {1, 3, 5, 7, 9}
+    else:
+        assert (rec.recovery_life, rec.recovered_seq) == (0, want_seq)
+        assert min(rejected) == want_seq + 2
+        # bit-identical block-granular restore vs the failure-free run
+        ref_sigs = dcp_reference.lives[0].signatures
+        restored = res.restored_signatures[0]
+        assert set(restored) == set(range(DCP_CONFIG.nranks))
+        for rank, sig in restored.items():
+            assert AddressSpace.signatures_equal(
+                sig, ref_sigs[(rank, want_seq)]), (kind, rank, want_seq)
+    assert res.metrics.corruptions_detected == len(res.corruptions)
+    assert res.metrics.integrity_walkbacks == len(rejected)
+
+
+def test_dcp_matrix_matches_page_mode_outcomes(reference, dcp_reference):
+    # same physics, different piece granularity: the failure-free dcp
+    # run commits the same sequences and ends at the same sim time
+    assert ([g.seq for g in dcp_reference.lives[0].committed]
+            == [g.seq for g in reference.lives[0].committed])
+    assert dcp_reference.final_time == reference.final_time
+
+
 def test_integrity_bandwidth_charges_verified_restore_cost():
     plan = FaultPlan([CRASH])
     base = run_matrix(plan)

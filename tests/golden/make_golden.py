@@ -55,6 +55,19 @@ CORRUPTION_PLAN = FaultPlan([
 CORRUPTION_CATEGORIES = frozenset(
     {"timeslice", "checkpoint", "fault", "recovery"})
 
+#: the dcp golden: the corruption scenario replayed with sub-page
+#: differential checkpoints -- the bit-flip lands inside a 256-byte
+#: block piece, chain verification walks back over block pieces, and
+#: the recovered run completes.  Pinned: the walk-back outcome, the
+#: victim chain's per-piece kind and size (dcp deltas must stay no
+#: larger than their committed page-mode counterparts), and the sha256
+#: of the full event stream.
+DCP_CONFIG = ExperimentConfig(
+    spec=paper_spec("sage-50MB"), nranks=8, timeslice=0.5,
+    run_duration=6.0, ckpt_transport="network",
+    ckpt_interval_slices=2, ckpt_full_every=5,
+    ckpt_mode="dcp", dcp_block_size=256)
+
 
 def canonical_events(tracer: Tracer) -> str:
     """The comparable stream: wall times stripped, keys sorted."""
@@ -181,11 +194,61 @@ def corruption_payload() -> dict:
     }
 
 
+def dcp_payload() -> dict:
+    tracer = Tracer(wall_clock=None, categories=CORRUPTION_CATEGORIES)
+    res = run_with_failures(DCP_CONFIG, CORRUPTION_PLAN,
+                            interval_slices=2, full_every=5,
+                            ckpt_transport="network",
+                            obs=Observability(tracer=tracer))
+    canon = canonical_events(tracer)
+    m = res.metrics
+    rec = res.failures[0]
+    victim = next(e for e in CORRUPTION_PLAN if e.seq is not None).rank
+    store = res.lives[0].store
+    return {
+        "app": DCP_CONFIG.spec.name,
+        "nranks": DCP_CONFIG.nranks,
+        "block_size": DCP_CONFIG.dcp_block_size,
+        "planned_events": [e.as_dict() for e in CORRUPTION_PLAN],
+        "final_time": res.final_time,
+        "n_lives": len(res.lives),
+        "committed_at_crash": [g.seq for g in res.lives[0].committed],
+        "victim_chain": [
+            {"seq": o.seq, "kind": o.kind, "nbytes": o.nbytes}
+            for o in store.pieces(victim)
+        ],
+        "failure": {
+            "time": rec.time, "kind": rec.kind,
+            "victims": list(rec.victims),
+            "recovered_seq": rec.recovered_seq,
+            "recovery_life": rec.recovery_life,
+            "lost_work": rec.lost_work,
+            "restore_time": rec.restore_time,
+            "downtime": rec.downtime,
+            "restarted_at": rec.restarted_at,
+        },
+        "corruptions": [
+            {"detected_at": c.detected_at, "life": c.life, "rank": c.rank,
+             "seq": c.seq, "reason": c.reason,
+             "rejected_seq": c.rejected_seq}
+            for c in res.corruptions
+        ],
+        "metrics": {"wall_time": m.wall_time,
+                    "availability": m.availability,
+                    "corruptions_detected": m.corruptions_detected,
+                    "integrity_walkbacks": m.integrity_walkbacks},
+        "final_iterations": res.lives[-1].iterations,
+        "n_events": len(tracer.events),
+        "events_sha256": hashlib.sha256(canon.encode()).hexdigest(),
+    }
+
+
 def main() -> None:
     for name, payload in (("golden_trace.json", trace_payload()),
                           ("golden_faults.json", faults_payload()),
                           ("golden_transport.json", transport_payload()),
-                          ("golden_corruption.json", corruption_payload())):
+                          ("golden_corruption.json", corruption_payload()),
+                          ("golden_dcp.json", dcp_payload())):
         path = HERE / name
         path.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"wrote {path}")

@@ -12,10 +12,14 @@ from pathlib import Path
 
 from repro.obs import Observability, Tracer
 from repro.cluster.experiment import run_experiment
-from tests.golden.make_golden import (TRANSPORT_CATEGORIES,
+from repro.faults import run_with_failures
+from tests.golden.make_golden import (CORRUPTION_CATEGORIES,
+                                      CORRUPTION_PLAN, DCP_CONFIG,
+                                      TRANSPORT_CATEGORIES,
                                       TRANSPORT_CONFIG, canonical_events,
-                                      corruption_payload, faults_payload,
-                                      trace_payload, transport_payload)
+                                      corruption_payload, dcp_payload,
+                                      faults_payload, trace_payload,
+                                      transport_payload)
 
 HERE = Path(__file__).parent
 
@@ -104,6 +108,44 @@ def test_golden_corruption_actually_walks_back():
     assert golden["n_lives"] == 2 and golden["final_iterations"] > 0
     assert golden["n_events"] > 500
     assert len(golden["events_sha256"]) == 64
+
+
+def test_dcp_recovery_matches_golden_exactly():
+    golden = load("golden_dcp.json")
+    current = json.loads(json.dumps(dcp_payload()))
+    assert current == golden
+
+
+def test_golden_dcp_actually_walks_back_block_pieces():
+    # guard against the golden being regenerated into a trivial run:
+    # the chain must really be block-granular, the flip must hit a dcp
+    # piece, and recovery must walk back over block pieces and finish
+    golden = load("golden_dcp.json")
+    assert golden["nranks"] == 8 and golden["app"].startswith("sage")
+    assert golden["block_size"] == 256
+    assert golden["committed_at_crash"] == [1, 3, 5, 7, 9]
+    chain = golden["victim_chain"]
+    assert [p["kind"] for p in chain] == ["full", "dcp", "dcp", "dcp",
+                                          "dcp"]
+    full = chain[0]["nbytes"]
+    assert all(0 < p["nbytes"] < full for p in chain[1:])
+    assert golden["failure"]["recovered_seq"] == 3
+    assert [c["rejected_seq"] for c in golden["corruptions"]] == [9, 7, 5]
+    assert all(c["reason"] == "digest-mismatch" for c in
+               golden["corruptions"])
+    assert golden["n_lives"] == 2 and golden["final_iterations"] > 0
+    assert len(golden["events_sha256"]) == 64
+
+
+def test_dcp_corruption_run_is_deterministic_byte_for_byte():
+    streams = []
+    for _ in range(2):
+        tracer = Tracer(wall_clock=None, categories=CORRUPTION_CATEGORIES)
+        run_with_failures(DCP_CONFIG, CORRUPTION_PLAN, interval_slices=2,
+                          full_every=5, ckpt_transport="network",
+                          obs=Observability(tracer=tracer))
+        streams.append(canonical_events(tracer).encode())
+    assert streams[0] == streams[1]
 
 
 def test_golden_fault_run_actually_recovers():

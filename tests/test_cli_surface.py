@@ -156,6 +156,51 @@ def test_trace_out_same_seed_sim_identical(tmp_path):
     assert a == b
 
 
+# -- checkpoint-mode flags ------------------------------------------------------
+
+def test_ckpt_mode_flags_documented_in_help(capsys):
+    for sub in (["run"], ["faults", "run"]):
+        with pytest.raises(SystemExit):
+            main(sub + ["--help"])
+        text = capsys.readouterr().out
+        assert "--ckpt-mode" in text
+        assert "--dcp-block-size" in text
+
+
+def test_run_dcp_mode_end_to_end():
+    code, out = run_cli("run", "--app", "lu", "--ranks", "2",
+                        "--duration", "6", "--ckpt-transport", "estimate",
+                        "--ckpt-mode", "dcp", "--dcp-block-size", "512")
+    assert code == 0
+    assert "commit(s)" in out
+
+
+@pytest.mark.parametrize("sub", [
+    ["run"],
+    ["faults", "run", "--mtbf", "6", "--seed", "3"],
+], ids=["run", "faults-run"])
+def test_invalid_dcp_block_size_exits_two(sub, capsys):
+    # 300 does not divide the page size: a configuration error, not an
+    # argparse one -- reported to stderr with exit code 2
+    code = main(sub + ["--app", "lu", "--ranks", "2", "--duration", "6",
+                       "--ckpt-mode", "dcp", "--dcp-block-size", "300"])
+    assert code == 2
+    assert "bad configuration" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["run", "--app", "lu", "--ckpt-mode", "paged"],
+    ["run", "--app", "lu", "--dcp-block-size", "0"],
+    ["run", "--app", "lu", "--dcp-block-size", "-8"],
+    ["faults", "run", "--app", "lu", "--ckpt-mode", "paged"],
+], ids=["bad-mode", "zero-block", "negative-block", "faults-bad-mode"])
+def test_bad_ckpt_mode_arguments_exit_two(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
 # -- performance-attribution commands ------------------------------------------
 
 @pytest.mark.parametrize("argv", [

@@ -12,7 +12,10 @@ any gated metric regressed by more than the tolerance:
 - **scale** large-rank row time (higher is a regression) and its
   per-rank throughput gain over the naive 64-rank extrapolation
   (lower is a regression -- both sides are measured in the same
-  session, so the ratio is drift-immune).
+  session, so the ratio is drift-immune);
+- **dcp** sub-page differential checkpointing row time (higher is a
+  regression), plus the hard requirement that its two runs stored
+  bit-identical piece chains whenever the section is present.
 
 Usage::
 
@@ -43,6 +46,7 @@ GATED_METRICS = {
     ("fig5", "row_s"): False,
     ("scale", "row_s"): False,
     ("scale", "per_rank_throughput_gain"): True,
+    ("dcp", "row_s"): False,
 }
 
 
@@ -56,6 +60,9 @@ def check(current: dict, reference: dict, tolerance: float) -> list[str]:
         return failures
     if not current.get("sweep", {}).get("bit_identical_across_modes", False):
         failures.append("sweep.bit_identical_across_modes is not true")
+    if "dcp" in current and not current["dcp"].get(
+            "bit_identical_across_runs", False):
+        failures.append("dcp.bit_identical_across_runs is not true")
     for (section, key), higher_is_better in GATED_METRICS.items():
         ref = reference.get(section, {}).get(key)
         cur = current.get(section, {}).get(key)
